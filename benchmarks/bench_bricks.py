@@ -1,0 +1,61 @@
+"""E11 — Bricks: scheduling with monitoring and prediction in the central model.
+
+Paper source (§4): "Bricks was among the first simulation projects
+developed to investigate different resource scheduling issues ...
+resource scheduling algorithms, programming modules for scheduling,
+network topology of clients and servers in global computing systems, and
+processing schemes for networks and servers."
+
+Rows regenerated: mean job response time per scheduling unit (random /
+round-robin / load-aware / predictive) under bursty background server
+load.  Shape target: predictive <= load-aware < round-robin ~ random —
+the monotone payoff of better monitoring that motivated Bricks' NWS-style
+prediction modules.
+"""
+
+import pytest
+
+from conftest import once, print_table
+
+from repro.core import Simulator
+from repro.simulators import BRICKS_SCHEDULERS, BricksModel
+
+HORIZON = 600.0
+
+
+def run_bricks(scheduler: str, seed: int = 7) -> float:
+    sim = Simulator(seed=seed)
+    model = BricksModel(sim, n_clients=6, n_servers=4, scheduler=scheduler,
+                        job_rate=0.35, background=0.6)
+    model.run(horizon=HORIZON)
+    assert len(model.completed) > 50
+    return model.mean_response_time
+
+
+@pytest.mark.parametrize("scheduler", BRICKS_SCHEDULERS)
+def test_e11_schedulers(benchmark, scheduler):
+    benchmark.group = "bricks central model"
+    rt = once(benchmark, run_bricks, scheduler)
+    assert rt > 0
+
+
+def test_e11_shape_claims(benchmark):
+    def run_all():
+        seeds = (7, 19, 43)
+        return {s: sum(run_bricks(s, seed) for seed in seeds) / len(seeds)
+                for s in BRICKS_SCHEDULERS}
+
+    rts = once(benchmark, run_all)
+    print_table("E11: mean response time per scheduling unit "
+                "(bursty background, mean of 3 seeds)",
+                ["scheduler", "mean response time"],
+                [(s, f"{rt:.2f}s") for s, rt in sorted(rts.items(),
+                                                       key=lambda kv: kv[1])])
+    # Better information monotonically helps:
+    # prediction beats blind placement...
+    assert rts["predictive"] < rts["random"]
+    assert rts["predictive"] < rts["round-robin"]
+    # ...and at least matches plain load-awareness (it subsumes it).
+    assert rts["predictive"] <= rts["load-aware"] * 1.1
+    # Load-awareness alone already beats random placement.
+    assert rts["load-aware"] < rts["random"]

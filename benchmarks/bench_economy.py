@@ -1,0 +1,80 @@
+"""E10 — GridSim's deadline x budget cost-time optimization sweep.
+
+Paper source (§4): GridSim "is mainly used to study cost-time optimization
+algorithms for scheduling task farming applications on heterogeneous
+Grids, considering economy based distributed resource management, dealing
+with deadline and budget constraints."
+
+Rows regenerated: completion rate, spend, and makespan per (deadline,
+budget) corner for the time- and cost-optimization strategies — the
+Nimrod-G/GridSim DBC matrix.  Shape targets: time-opt never slower,
+cost-opt never dearer; tight budgets starve the time-optimizer; the
+infeasible corner fails under both.
+"""
+
+import pytest
+
+from conftest import once, print_table
+
+from repro.core import Simulator
+from repro.simulators import GridSimModel
+
+N = 40
+CORNERS = {
+    "loose-D/big-B": (2000.0, 1e6),
+    "tight-D/big-B": (120.0, 1e6),
+    "loose-D/small-B": (2000.0, 6e4),
+    # cheapest offer is 1 G$/MI and the shortest gridlet is ~100 MI, so a
+    # 50 G$ budget can never admit anything: truly infeasible
+    "infeasible": (4.0, 50.0),
+}
+
+
+def run_corner(corner: str, strategy: str) -> dict:
+    deadline, budget = CORNERS[corner]
+    sim = Simulator(seed=21)
+    return GridSimModel(sim).run_dbc(n_gridlets=N, deadline=deadline,
+                                     budget=budget, strategy=strategy)
+
+
+@pytest.mark.parametrize("strategy", ["time", "cost"])
+@pytest.mark.parametrize("corner", sorted(CORNERS))
+def test_e10_dbc_corner(benchmark, corner, strategy):
+    benchmark.group = f"dbc {corner}"
+    summary = once(benchmark, run_corner, corner, strategy)
+    assert summary["completed"] + summary["failed"] == N
+    assert summary["spent"] <= CORNERS[corner][1] + 1e-6
+
+
+def test_e10_shape_claims(benchmark):
+    def run_all():
+        return {(c, s): run_corner(c, s)
+                for c in CORNERS for s in ("time", "cost")}
+
+    results = once(benchmark, run_all)
+    print_table(
+        "E10: DBC sweep (40 gridlets, 4 priced resources)",
+        ["corner", "strategy", "completed", "spent", "makespan", "misses"],
+        [(c, s, f"{r['completed']}/{N}", f"{r['spent']:.0f}",
+          f"{r['makespan']:.1f}", r["deadline_misses"])
+         for (c, s), r in sorted(results.items())])
+
+    base_t = results[("loose-D/big-B", "time")]
+    base_c = results[("loose-D/big-B", "cost")]
+    # The defining trade-off: time-opt no later, cost-opt no dearer.
+    assert base_t["makespan"] <= base_c["makespan"] + 1e-9
+    assert base_c["spent"] <= base_t["spent"] + 1e-9
+    # Everything completes when constraints are loose.
+    assert base_t["completed"] == N and base_c["completed"] == N
+    # A small budget forces failures for the spend-hungry time optimizer.
+    small_b = results[("loose-D/small-B", "time")]
+    assert small_b["failed"] > 0
+    # The cost optimizer stretches the small budget at least as far.
+    assert results[("loose-D/small-B", "cost")]["completed"] \
+        >= small_b["completed"]
+    # Nobody completes anything in the infeasible corner.
+    assert results[("infeasible", "time")]["completed"] == 0
+    assert results[("infeasible", "cost")]["completed"] == 0
+    # No deadline misses among accepted jobs (admission keeps its promise).
+    for r in results.values():
+        assert r["deadline_misses"] == 0

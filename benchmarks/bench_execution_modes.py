@@ -1,0 +1,124 @@
+"""E7 — centralized vs distributed execution (the Misra/Fujimoto axis).
+
+Paper source (§3): the centralized/distributed classification, plus the
+verdict that "despite over two decades of research, the technology of
+distributed simulations has not significantly impressed the general
+simulation community.  Considerable efforts and expertise are still
+required to develop efficient simulation programs."
+
+Workload: a K-site grid partitioned one-LP-per-site; sites run local
+Poisson job streams and forward a fraction of completions to neighbours
+(cross-LP traffic).  Swept: executor x partition count x lookahead.
+Shape targets: all executors agree on results; CMB's null-message count
+scales ~1/lookahead; threaded windows buy no wall-clock in CPython (the
+GIL is this decade's version of the paper's verdict).
+"""
+
+import time
+
+import pytest
+
+from conftest import once, print_table
+
+from repro.core.parallel import (
+    CMBExecutor,
+    LogicalProcess,
+    SequentialExecutor,
+    WindowExecutor,
+)
+
+HORIZON = 400.0
+JOBS_PER_SITE = 150
+
+
+def build_partitioned_grid(k: int, lookahead: float):
+    """K LPs in a ring; each runs local jobs and forwards 20% onward."""
+    lps = [LogicalProcess(f"site-{i}", seed=i) for i in range(k)]
+    for i, lp in enumerate(lps):
+        lp.connect(lps[(i + 1) % k], lookahead)
+    results = []
+
+    def wire(lp: LogicalProcess, idx: int):
+        arr = lp.sim.stream("arr")
+        svc = lp.sim.stream("svc")
+
+        def complete(jid: int) -> None:
+            results.append((round(lp.sim.now, 9), lp.name, jid))
+            if jid % 5 == 0:  # forward every fifth job to the neighbour
+                lp.send(f"site-{(idx + 1) % k}", "job", jid * 1000)
+
+        def arrive(n: int) -> None:
+            lp.sim.schedule(svc.exponential(0.4), complete, n)
+            if n < JOBS_PER_SITE:
+                lp.sim.schedule(arr.exponential(HORIZON / JOBS_PER_SITE / 2),
+                                arrive, n + 1)
+
+        lp.on_message("job", lambda lp_, msg: lp_.sim.schedule(
+            svc.exponential(0.4), complete, msg.payload))
+        lp.sim.schedule(0.0, arrive, 1)
+
+    for i, lp in enumerate(lps):
+        wire(lp, i)
+    return lps, results
+
+
+EXECUTORS = {
+    "sequential": lambda: SequentialExecutor(),
+    "cmb": lambda: CMBExecutor(),
+    "window": lambda: WindowExecutor(),
+    "window-4threads": lambda: WindowExecutor(threads=4),
+}
+
+
+@pytest.mark.parametrize("name", sorted(EXECUTORS))
+@pytest.mark.parametrize("k", [2, 8])
+def test_e7_executors(benchmark, name, k):
+    benchmark.group = f"partitioned grid K={k}"
+
+    def run():
+        lps, results = build_partitioned_grid(k, lookahead=1.0)
+        stats = EXECUTORS[name]().run(lps, until=HORIZON)
+        return stats, results
+
+    stats, results = once(benchmark, run)
+    assert stats.events > 0 and len(results) >= k * JOBS_PER_SITE
+
+
+def test_e7_shape_claims(benchmark):
+    def run_all():
+        # 1) equivalence at fixed config
+        logs = {}
+        for name, make in EXECUTORS.items():
+            lps, results = build_partitioned_grid(4, lookahead=1.0)
+            make().run(lps, until=HORIZON)
+            logs[name] = sorted(results)
+        # 2) null-message sensitivity to lookahead
+        nulls = {}
+        for la in (2.0, 0.5, 0.125):
+            lps, _ = build_partitioned_grid(4, lookahead=la)
+            nulls[la] = CMBExecutor().run(lps, until=HORIZON).null_messages
+        # 3) wall-clock: windowed threads vs sequential
+        walls = {}
+        for name in ("sequential", "window", "window-4threads"):
+            t0 = time.perf_counter()
+            lps, _ = build_partitioned_grid(8, lookahead=1.0)
+            EXECUTORS[name]().run(lps, until=HORIZON)
+            walls[name] = time.perf_counter() - t0
+        return logs, nulls, walls
+
+    logs, nulls, walls = once(benchmark, run_all)
+    print_table("E7: CMB null messages vs lookahead (K=4)",
+                ["lookahead", "null messages"],
+                [(la, n) for la, n in sorted(nulls.items(), reverse=True)])
+    print_table("E7b: wall seconds, K=8 partitioned grid",
+                ["executor", "seconds"],
+                [(n, f"{s:.3f}") for n, s in sorted(walls.items())])
+
+    # Conservative protocols are *correct*: identical event logs everywhere.
+    ref = logs["sequential"]
+    for name, log in logs.items():
+        assert log == ref, f"{name} diverged from sequential execution"
+    # The null-message curse: overhead grows as lookahead shrinks.
+    assert nulls[0.125] > nulls[2.0]
+    # The paper's verdict, CPython edition: real threads buy nothing here.
+    assert walls["window-4threads"] > 0.5 * walls["window"]

@@ -1,0 +1,100 @@
+"""Ablation — network granularity: flow-level vs packet-level (§3's axis).
+
+Paper source (§3): "The simulation of the network can model in detail the
+flow of each packet through the network, a time consuming operation that
+leads to better output results, or it can model only the flows of packets
+going from one end to another in the network."
+
+Workload: the same bag of transfers over the same dumbbell topology, run
+through the flow model and the packet model (with and without MTU
+refinement).  Shape targets: both granularities agree on aggregate
+transfer time within a modest band on an uncongested path; the packet
+model's cost scales with bytes/MTU while the flow model's cost scales with
+the number of *transfers* — orders of magnitude apart.
+"""
+
+import time
+
+import pytest
+
+from conftest import once, print_table
+
+from repro.core import Simulator
+from repro.network import FlowNetwork, PacketNetwork, Topology
+
+N_TRANSFERS = 30
+SIZE = 300_000.0  # 300 kB each
+
+
+def topo():
+    t = Topology()
+    t.add_link("a", "b", 1e6, 0.005)  # 1 MB/s, 5 ms
+    return t
+
+
+def run_flow() -> tuple[float, int]:
+    sim = Simulator(seed=3)
+    net = FlowNetwork(sim, topo(), efficiency=1.0)
+    handles = []
+    stream = sim.stream("arr")
+    t = 0.0
+    for _ in range(N_TRANSFERS):
+        sim.schedule_at(t, lambda: handles.append(net.transfer("a", "b", SIZE)))
+        t += stream.exponential(5.0)
+    sim.run()
+    mean = sum(h.duration for h in handles) / len(handles)
+    return mean, sim.events_executed
+
+
+def run_packet(mtu: float) -> tuple[float, int]:
+    sim = Simulator(seed=3)
+    net = PacketNetwork(sim, topo(), mtu=mtu, queue_packets=100_000)
+    handles = []
+    stream = sim.stream("arr")
+    t = 0.0
+    for _ in range(N_TRANSFERS):
+        sim.schedule_at(t, lambda: handles.append(net.transfer("a", "b", SIZE)))
+        t += stream.exponential(5.0)
+    sim.run()
+    assert all(h.success for h in handles)
+    mean = sum(h.duration for h in handles) / len(handles)
+    return mean, sim.events_executed
+
+
+def test_granularity_flow(benchmark):
+    benchmark.group = "network granularity"
+    mean, _ = once(benchmark, run_flow)
+    assert mean > 0
+
+
+@pytest.mark.parametrize("mtu", [9000.0, 1500.0])
+def test_granularity_packet(benchmark, mtu):
+    benchmark.group = "network granularity"
+    mean, _ = once(benchmark, run_packet, mtu)
+    assert mean > 0
+
+
+def test_granularity_shape_claims(benchmark):
+    def run_all():
+        t0 = time.perf_counter()
+        flow_mean, flow_events = run_flow()
+        t_flow = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        pkt_mean, pkt_events = run_packet(1500.0)
+        t_pkt = time.perf_counter() - t0
+        return flow_mean, flow_events, t_flow, pkt_mean, pkt_events, t_pkt
+
+    flow_mean, flow_events, t_flow, pkt_mean, pkt_events, t_pkt = \
+        once(benchmark, run_all)
+    print_table(
+        "Network granularity: same workload, two models",
+        ["model", "mean transfer time", "kernel events", "wall seconds"],
+        [("flow-level", f"{flow_mean:.2f}s", flow_events, f"{t_flow:.3f}"),
+         ("packet-level (MTU 1500)", f"{pkt_mean:.2f}s", pkt_events,
+          f"{t_pkt:.3f}")])
+
+    # Accuracy: the cheap model tracks the detailed one on this path.
+    assert flow_mean == pytest.approx(pkt_mean, rel=0.25)
+    # Cost: the packet model pays per-packet — orders of magnitude more
+    # kernel events (SIZE/MTU = 200 packets x 2 hops per transfer).
+    assert pkt_events > 20 * flow_events

@@ -1,0 +1,110 @@
+"""E13 (extension) — P2P search disciplines under churn.
+
+Paper source: the taxonomy's *scope* axis covers "P2P networks", and the
+survey's family is "Grid and/or P2P simulation instruments" — so the
+substrate must express the P2P trade-off the classic studies report:
+structured overlays resolve in O(log N) hops, unstructured flooding pays
+exponentially many duplicate messages for coverage, random walks trade
+latency for message economy.
+
+Rows regenerated: lookup hops vs overlay size for Chord; messages per
+query for flooding vs random walks; lookup success under heavy churn.
+"""
+
+import math
+
+import pytest
+
+from conftest import once, print_table
+
+from repro.core import Simulator
+from repro.p2p import ChordRing, ChurnProcess, UnstructuredOverlay
+
+
+def chord_hops(n: int) -> float:
+    sim = Simulator(seed=1)
+    ring = ChordRing(sim, bits=20)
+    for i in range(n):
+        ring.join(f"node-{i}")
+    keys = sim.stream("keys")
+    lookups = [ring.lookup("node-0", keys.randint(0, ring.space - 1))
+               for _ in range(40)]
+    sim.run()
+    assert all(r.found for r in lookups)
+    return sum(r.hops for r in lookups) / len(lookups)
+
+
+def unstructured_costs(n: int = 100):
+    sim = Simulator(seed=2)
+    ov = UnstructuredOverlay(sim, sim.stream("ov"), degree=4)
+    for i in range(n):
+        ov.join(f"peer-{i}")
+    ov.place_item("needle", f"peer-{n // 2}")
+    flood = ov.flood_search("peer-0", "needle", ttl=7)
+    walk = ov.walk_search("peer-0", "needle", walkers=4, max_steps=40)
+    sim.run()
+    return flood, walk
+
+
+def churn_success(mean_session: float) -> float:
+    sim = Simulator(seed=3)
+    ring = ChordRing(sim, bits=16)
+    churn = ChurnProcess(sim, ring, sim.stream("churn"),
+                         target_population=40, mean_session=mean_session,
+                         mean_rejoin_gap=5.0, horizon=400.0)
+    keys = sim.stream("keys")
+    results = []
+
+    def fire():
+        if ring.size > 1:
+            results.append(ring.lookup(churn.random_member(),
+                                       keys.randint(0, ring.space - 1)))
+
+    for t in range(10, 400, 5):
+        sim.schedule_at(float(t), fire)
+    sim.run()
+    done = [r for r in results if r.done]
+    return sum(r.found for r in done) / len(done)
+
+
+@pytest.mark.parametrize("n", [16, 64, 256])
+def test_e13_chord_scaling(benchmark, n):
+    benchmark.group = "chord lookup"
+    hops = once(benchmark, chord_hops, n)
+    assert hops <= 2 * math.log2(n) + 1
+
+
+def test_e13_flood_vs_walk(benchmark):
+    flood, walk = once(benchmark, unstructured_costs)
+    assert flood.found
+
+
+def test_e13_shape_claims(benchmark):
+    def run_all():
+        hops = {n: chord_hops(n) for n in (16, 64, 256)}
+        flood, walk = unstructured_costs()
+        success = {s: churn_success(s) for s in (400.0, 60.0)}
+        return hops, flood, walk, success
+
+    hops, flood, walk, success = once(benchmark, run_all)
+    print_table("E13: Chord mean lookup hops vs overlay size",
+                ["N", "mean hops", "log2(N)"],
+                [(n, f"{h:.2f}", f"{math.log2(n):.2f}")
+                 for n, h in hops.items()])
+    print_table("E13b: unstructured search cost (N=100, item at distance)",
+                ["discipline", "messages", "found"],
+                [("flooding ttl=7", flood.messages, flood.found),
+                 ("4 random walks", walk.messages, walk.found)])
+    print_table("E13c: Chord lookup success under churn",
+                ["mean session", "success rate"],
+                [(s, f"{v:.1%}") for s, v in success.items()])
+
+    # O(log N): hops grow far slower than N (sublinear, log-like).
+    assert hops[256] < hops[16] * (256 / 16) / 4
+    assert hops[256] <= 2 * math.log2(256)
+    # Flooding's duplicate-message cost exceeds bounded walks.
+    assert flood.messages > walk.messages
+    # Faster churn degrades (never improves) lookup success; even heavy
+    # churn keeps the eager-repair overlay mostly functional.
+    assert success[60.0] <= success[400.0] + 1e-9
+    assert success[400.0] > 0.95

@@ -1,0 +1,51 @@
+#!/usr/bin/env python
+"""ChicagoSim-style data-location scheduling × push replication.
+
+ChicagoSim "is designed to investigate scheduling strategies in conjunction
+with data location ... [with] a 'push' model in which, when a site contains
+a popular data file, it will replicate it to remote sites."
+
+This example crosses the four external-scheduler policies with the two data
+policies on Zipf-popular datasets.  Expected shape: data-present placement
+slashes remote reads; push replication helps the data-blind policies most
+(it moves the popular data to where the jobs land anyway).
+
+Run:  python examples/data_aware_scheduling.py
+"""
+
+from repro.core import Simulator
+from repro.simulators import ChicagoSimModel, DATA_POLICIES, JOB_POLICIES
+
+N_JOBS = 80
+
+
+def run(job_policy: str, data_policy: str) -> ChicagoSimModel:
+    sim = Simulator(seed=31)
+    model = ChicagoSimModel(sim, n_sites=5, n_datasets=20,
+                            job_policy=job_policy, data_policy=data_policy,
+                            n_schedulers=3, push_threshold=3)
+    return model.run(n_jobs=N_JOBS, zipf_s=1.2)
+
+
+def main() -> None:
+    print(f"{'job policy':<14} {'data policy':<12} {'mean turnaround':>16} "
+          f"{'remote reads':>13} {'pushes':>7}")
+    remote = {}
+    for jp in JOB_POLICIES:
+        for dp in DATA_POLICIES:
+            m = run(jp, dp)
+            remote[(jp, dp)] = m.remote_fraction()
+            pushes = getattr(m.strategy, "pushes", 0)
+            print(f"{jp:<14} {dp:<12} {m.mean_turnaround:>14.1f} s "
+                  f"{m.remote_fraction():>12.1%} {pushes:>7}")
+
+    assert remote[("data-present", "none")] < remote[("random", "none")], \
+        "running jobs at the data must reduce remote reads"
+    assert remote[("random", "push")] <= remote[("random", "none")] + 1e-9, \
+        "push replication should not increase remote reads for random placement"
+    print("\nData-aware placement reduces WAN traffic; push replication "
+          "rescues data-blind placement — the ChicagoSim result's shape holds.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Distributed simulation: why the paper says it "has not impressed".
+
+Section 3 replaces the serial/parallel split with centralized/distributed
+and observes that "despite over two decades of research, the technology of
+distributed simulations has not significantly impressed the general
+simulation community".  This example shows the mechanism: the same
+partitioned grid model runs under a sequential executor, the
+Chandy–Misra–Bryant null-message protocol, and synchronous windows — all
+producing identical results — while the protocol overhead (null messages)
+explodes as lookahead (inter-site latency) shrinks.
+
+Run:  python examples/distributed_simulation.py
+"""
+
+from repro.core import Simulator  # noqa: F401 - imported for parity with docs
+from repro.core.parallel import (
+    CMBExecutor,
+    LogicalProcess,
+    SequentialExecutor,
+    WindowExecutor,
+)
+
+
+def build_model(n_sites: int, lookahead: float):
+    """A ring of sites exchanging job-completion notifications."""
+    lps = [LogicalProcess(f"site-{i}", seed=i) for i in range(n_sites)]
+    for i, lp in enumerate(lps):
+        lp.connect(lps[(i + 1) % n_sites], lookahead)
+    log = []
+
+    def on_job(lp, msg):
+        log.append((round(lp.sim.now, 6), lp.name, msg.payload))
+        if msg.payload < 200:
+            nxt = f"site-{(int(lp.name.split('-')[1]) + 1) % n_sites}"
+            # local processing time before forwarding
+            lp.sim.schedule(0.5, lp.send, nxt, "job", msg.payload + 1)
+
+    for lp in lps:
+        lp.on_message("job", on_job)
+    lps[0].sim.schedule(0.0, lps[0].send, "site-1", "job", 0)
+    return lps, log
+
+
+def main() -> None:
+    print("Executor equivalence (lookahead = 1.0):")
+    reference = None
+    for executor in (SequentialExecutor(), CMBExecutor(), WindowExecutor()):
+        lps, log = build_model(4, lookahead=1.0)
+        stats = executor.run(lps, until=1000.0)
+        if reference is None:
+            reference = log
+        assert log == reference, f"{stats.executor} diverged!"
+        print(f"  {stats.executor:<11} events={stats.events:>5} "
+              f"nulls={stats.null_messages:>6} epochs={stats.epochs:>5}")
+    print("  all executors produced identical event logs ✓\n")
+
+    print("CMB null-message overhead vs lookahead (the protocol's curse):")
+    for la in (4.0, 1.0, 0.25, 0.0625):
+        lps, _ = build_model(4, lookahead=la)
+        stats = CMBExecutor().run(lps, until=1000.0)
+        ratio = stats.null_messages / max(stats.real_messages, 1)
+        print(f"  lookahead {la:>7.4g}: {stats.null_messages:>7} nulls "
+              f"for {stats.real_messages} real messages "
+              f"({ratio:.1f} nulls per real message)")
+    print("\nSmall lookahead => null storms: exactly why conservative "
+          "distributed DES rarely pays off.")
+
+
+if __name__ == "__main__":
+    main()

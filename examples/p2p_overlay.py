@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""P2P overlays under churn: structured vs unstructured search.
+
+The taxonomy covers "P2P networks" as a system kind of its own; this
+example contrasts the two canonical search disciplines on the same kernel:
+Chord-style finger routing (O(log N) hops) vs Gnutella-style flooding and
+random walks, then runs Chord lookups while a heavy-tailed churn process
+replaces half the population.
+
+Run:  python examples/p2p_overlay.py
+"""
+
+import math
+
+from repro.core import Simulator
+from repro.p2p import ChordRing, ChurnProcess, UnstructuredOverlay
+
+
+def chord_demo() -> None:
+    print("Chord: mean lookup hops vs overlay size")
+    for n in (16, 64, 256):
+        sim = Simulator(seed=1)
+        ring = ChordRing(sim, bits=20)
+        for i in range(n):
+            ring.join(f"node-{i}")
+        keys = sim.stream("keys")
+        lookups = [ring.lookup("node-0", keys.randint(0, ring.space - 1))
+                   for _ in range(40)]
+        sim.run()
+        hops = sum(r.hops for r in lookups) / len(lookups)
+        print(f"  N={n:<4} mean hops {hops:.2f}  (log2 N = {math.log2(n):.1f})")
+        assert all(r.found for r in lookups)
+
+
+def unstructured_demo() -> None:
+    print("\nUnstructured (N=100): flooding vs random walks")
+    sim = Simulator(seed=2)
+    ov = UnstructuredOverlay(sim, sim.stream("ov"), degree=4)
+    for i in range(100):
+        ov.join(f"peer-{i}")
+    ov.place_item("needle", "peer-50")
+    flood = ov.flood_search("peer-0", "needle", ttl=7)
+    walk = ov.walk_search("peer-0", "needle", walkers=4, max_steps=40)
+    sim.run()
+    print(f"  flooding    : found={flood.found}  messages={flood.messages}")
+    print(f"  random walks: found={walk.found}  messages={walk.messages}")
+    assert flood.messages > walk.messages
+
+
+def churn_demo() -> None:
+    print("\nChord under churn (population 40, heavy-tailed sessions):")
+    sim = Simulator(seed=3)
+    ring = ChordRing(sim, bits=16)
+    churn = ChurnProcess(sim, ring, sim.stream("churn"),
+                         target_population=40, mean_session=120.0,
+                         mean_rejoin_gap=10.0, horizon=400.0)
+    keys = sim.stream("keys")
+    results = []
+
+    def fire() -> None:
+        if ring.size > 1:
+            results.append(ring.lookup(churn.random_member(),
+                                       keys.randint(0, ring.space - 1)))
+
+    for t in range(10, 400, 5):
+        sim.schedule_at(float(t), fire)
+    sim.run()
+    ok = sum(r.found for r in results)
+    joins = churn.monitor.counter("joins").count
+    leaves = churn.monitor.counter("leaves").count
+    print(f"  {joins} joins / {leaves} leaves over the run")
+    print(f"  lookups: {ok}/{len(results)} succeeded "
+          f"({ok / len(results):.1%})")
+    assert ok / len(results) > 0.9
+
+
+if __name__ == "__main__":
+    chord_demo()
+    unstructured_demo()
+    churn_demo()
+    print("\nStructured routing stays logarithmic; flooding pays in "
+          "messages; eager repair keeps lookups working through churn.")

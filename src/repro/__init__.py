@@ -1,0 +1,37 @@
+"""repro — a large-scale distributed systems simulation suite.
+
+A faithful, executable reproduction of *New Trends in Large Scale
+Distributed Systems Simulation* (Dobre, Pop, Cristea — ICPP 2009): a
+discrete-event kernel exposing every design axis of the paper's simulator
+taxonomy, the grid substrates (networks, hosts, middleware, workloads) the
+surveyed instruments rely on, re-implementations of all six surveyed
+simulators (Bricks, OptorSim, SimGrid, GridSim, ChicagoSim, MONARC 2), the
+taxonomy itself as an executable classification framework, and the queueing
+theory validation machinery the paper calls for.
+
+Package layout
+--------------
+``repro.core``
+    The DES kernel: engines (event-, time-, trace-driven), event queues,
+    processes, resources, RNG streams, monitors, distributed execution.
+``repro.network``
+    Flow-level and packet-level network models behind one transport API.
+``repro.hosts``
+    CPUs (time/space-shared), storage, sites and resource organizations.
+``repro.middleware``
+    Jobs, schedulers, brokers, replica catalogs/strategies, economy layer.
+``repro.workloads``
+    Arrival processes, task farms, DAGs, file-access patterns, LHC loads.
+``repro.simulators``
+    The six surveyed simulator designs rebuilt on the common kernel.
+``repro.taxonomy``
+    The paper's taxonomy: schema, registry, classifier, Table-1 reports.
+``repro.validation``
+    Analytic queueing models and simulation-vs-theory comparison harness.
+"""
+
+from .core import Simulator, TimeDrivenSimulator, TraceDrivenSimulator
+
+__version__ = "1.0.0"
+
+__all__ = ["Simulator", "TimeDrivenSimulator", "TraceDrivenSimulator", "__version__"]

@@ -1,0 +1,150 @@
+"""Command-line interface: the survey and validation artifacts on demand.
+
+The taxonomy's *user interface* axis distinguishes textual from graphical
+tooling; this is the framework's textual interface, exposing the artifacts
+a reader of the paper would ask for:
+
+```
+python -m repro table1 [--format ascii|markdown|csv]   # regenerate Table 1
+python -m repro survey                                  # Table 1 + provenance
+python -m repro coverage                                # parameter-space map
+python -m repro diff SIM_A SIM_B                        # axis-by-axis diff
+python -m repro validate [--rho R] [--jobs N]           # M/M/1 vs theory
+python -m repro classify                                # classify live engines
+```
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse CLI: one sub-command per survey/validation artifact."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Large-scale distributed systems simulation suite "
+                    "(ICPP'09 taxonomy reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_table = sub.add_parser("table1", help="regenerate the paper's Table 1")
+    p_table.add_argument("--format", choices=("ascii", "markdown", "csv"),
+                         default="ascii")
+    p_table.add_argument("--include-repro", action="store_true",
+                         help="add this framework as a seventh column")
+
+    sub.add_parser("survey", help="Table 1 plus per-axis provenance notes")
+    sub.add_parser("coverage", help="taxonomy parameter-space coverage")
+
+    p_diff = sub.add_parser("diff", help="compare two simulators axis by axis")
+    p_diff.add_argument("left")
+    p_diff.add_argument("right")
+
+    p_val = sub.add_parser("validate", help="simulate M/M/1 and compare to theory")
+    p_val.add_argument("--rho", type=float, default=0.6)
+    p_val.add_argument("--jobs", type=int, default=20_000)
+    p_val.add_argument("--seed", type=int, default=0)
+
+    sub.add_parser("classify", help="classify the live kernel engines")
+    return parser
+
+
+def _cmd_table1(args) -> int:
+    from .taxonomy import SURVEYED, all_records, render_ascii, render_csv, render_markdown
+
+    records = all_records() if args.include_repro else list(SURVEYED)
+    renderer = {"ascii": render_ascii, "markdown": render_markdown,
+                "csv": render_csv}[args.format]
+    print(renderer(records), end="")
+    return 0
+
+
+def _cmd_survey(_args) -> int:
+    from .taxonomy import survey_report
+
+    print(survey_report(), end="")
+    return 0
+
+
+def _cmd_coverage(_args) -> int:
+    from .taxonomy import SURVEYED, all_records, complementarity, coverage
+
+    cov = coverage(list(SURVEYED))
+    print("Taxonomy parameter-space coverage (surveyed six):")
+    for axis, cells in cov.items():
+        hit = sum(cells.values())
+        print(f"  {axis:<20} {hit}/{len(cells)} values covered")
+        for value, covered in cells.items():
+            if not covered:
+                print(f"      missing: {value}")
+    print(f"\njoint coverage: surveyed six = {complementarity(list(SURVEYED)):.0%}, "
+          f"with repro = {complementarity(all_records()):.0%}")
+    return 0
+
+
+def _cmd_diff(args) -> int:
+    from .taxonomy import diff, record, similarity
+
+    try:
+        a, b = record(args.left), record(args.right)
+    except KeyError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(f"{a.name} vs {b.name} — similarity {similarity(a, b):.0%}")
+    for d in diff(a, b):
+        print(f"  {d.axis:<20} {d.left}  |  {d.right}")
+    return 0
+
+
+def _cmd_validate(args) -> int:
+    from .validation import MM1, compare, simulate_mm1
+
+    if not 0 < args.rho < 1:
+        print("error: --rho must be in (0,1)", file=sys.stderr)
+        return 2
+    model = MM1(args.rho, 1.0)
+    stats = simulate_mm1(args.rho, 1.0, n_jobs=args.jobs, seed=args.seed)
+    report = compare(model, stats)
+    print(f"M/M/1  rho={args.rho}  ({args.jobs} jobs, seed {args.seed})")
+    print(f"  {'qty':<12} {'analytic':>10} {'measured':>10} {'rel err':>8}")
+    for qty, analytic, measured, err in report.to_rows():
+        print(f"  {qty:<12} {analytic:>10.4f} {measured:>10.4f} {err:>7.2%}")
+    print(f"  worst relative error: {report.max_rel_error:.2%}")
+    return 0 if report.max_rel_error < 0.15 else 1
+
+
+def _cmd_classify(_args) -> int:
+    from .core import Simulator, TimeDrivenSimulator
+    from .taxonomy import classify_engine
+
+    for label, sim in (("event-driven + heap", Simulator(queue="heap")),
+                       ("event-driven + calendar", Simulator(queue="calendar")),
+                       ("time-driven + heap", TimeDrivenSimulator(tick=1.0))):
+        info = classify_engine(sim)
+        cells = ", ".join(f"{k}={getattr(v, 'value', v)}" for k, v in info.items())
+        print(f"  {label:<26} -> {cells}")
+    return 0
+
+
+_COMMANDS = {
+    "table1": _cmd_table1,
+    "survey": _cmd_survey,
+    "coverage": _cmd_coverage,
+    "diff": _cmd_diff,
+    "validate": _cmd_validate,
+    "classify": _cmd_classify,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

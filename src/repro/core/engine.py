@@ -1,0 +1,224 @@
+"""The event-driven simulation kernel.
+
+This is the *event-driven DES* of the taxonomy's mechanics axis: simulation
+time advances by irregular increments, jumping directly to the next
+scheduled event ("more efficient than a time-driven DES since it does not
+step through regular time intervals when no event occurs" — benchmarked in
+E3 against :mod:`repro.core.timedriven`).
+
+Design points, each mapped to a taxonomy category:
+
+* **engine optimization / event list** — the future-event set is a pluggable
+  :class:`~repro.core.queues.base.EventQueue`; pick the structure per run
+  (``Simulator(queue="calendar")``).
+* **behavior** — the kernel itself is strictly deterministic; stochastic
+  models draw from :class:`~repro.core.rng.StreamFactory` streams owned by
+  the simulator, so one integer seed pins the whole trajectory.
+* **input data** — an attached :class:`~repro.core.trace.TraceRecorder`
+  captures the executed event stream, enabling trace-driven replay.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable, Optional
+
+from .errors import SchedulingError, StopSimulation
+from .events import Event, Priority
+from .monitor import Monitor
+from .queues import EventQueue, make_queue
+from .rng import Stream, StreamFactory
+
+__all__ = ["Simulator"]
+
+
+class Simulator:
+    """Sequential event-driven discrete-event simulator.
+
+    Parameters
+    ----------
+    queue:
+        Event-list structure: an :class:`EventQueue` instance or a registry
+        name (``"linear" | "heap" | "splay" | "calendar" | "ladder"``).
+    seed:
+        Root seed for all random streams drawn via :meth:`stream`.
+    start_time:
+        Initial simulation clock value.
+
+    Examples
+    --------
+    >>> sim = Simulator(seed=42)
+    >>> fired = []
+    >>> _ = sim.schedule(5.0, fired.append, "hello")
+    >>> sim.run()
+    >>> (sim.now, fired)
+    (5.0, ['hello'])
+    """
+
+    def __init__(
+        self,
+        queue: EventQueue | str = "heap",
+        seed: int = 0,
+        start_time: float = 0.0,
+    ) -> None:
+        self._queue: EventQueue = make_queue(queue) if isinstance(queue, str) else queue
+        self._now = float(start_time)
+        self._seq = 0
+        self._running = False
+        self._stopped = False
+        self._stop_reason = ""
+        self._events_executed = 0
+        self.streams = StreamFactory(seed)
+        self.monitor = Monitor("simulation")
+        #: optional hooks called as ``hook(event)`` just before each firing —
+        #: used by trace recording and by debugging instrumentation.
+        self.pre_event_hooks: list[Callable[[Event], None]] = []
+
+    # -- clock & identity ------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self._now
+
+    @property
+    def events_executed(self) -> int:
+        """Number of events fired so far (cancelled events excluded)."""
+        return self._events_executed
+
+    @property
+    def pending(self) -> int:
+        """Raw future-event count (may include cancelled records)."""
+        return len(self._queue)
+
+    @property
+    def stop_reason(self) -> str:
+        """Why the last run ended ('' if it simply drained the queue)."""
+        return self._stop_reason
+
+    def stream(self, name: str) -> Stream:
+        """Named independent random stream (see :class:`StreamFactory`)."""
+        return self.streams.stream(name)
+
+    # -- scheduling ---------------------------------------------------------------
+
+    def schedule(
+        self,
+        delay: float,
+        fn: Callable[..., Any],
+        *args: Any,
+        priority: int = Priority.NORMAL,
+        label: str = "",
+        **kwargs: Any,
+    ) -> Event:
+        """Schedule ``fn(*args, **kwargs)`` to run *delay* time units from now.
+
+        Returns the :class:`Event`, whose :meth:`~Event.cancel` method is the
+        way to tear down timers.
+        """
+        return self.schedule_at(self._now + delay, fn, *args,
+                                priority=priority, label=label, **kwargs)
+
+    def schedule_at(
+        self,
+        time: float,
+        fn: Callable[..., Any],
+        *args: Any,
+        priority: int = Priority.NORMAL,
+        label: str = "",
+        **kwargs: Any,
+    ) -> Event:
+        """Schedule ``fn`` at absolute simulation *time* (>= now)."""
+        if math.isnan(time):
+            raise SchedulingError("cannot schedule event at NaN time")
+        if time < self._now:
+            raise SchedulingError(
+                f"cannot schedule event in the past (t={time} < now={self._now})"
+            )
+        ev = Event(time, self._next_seq(), fn, args, kwargs,
+                   priority=priority, label=label)
+        self._queue.push(ev)
+        return ev
+
+    def _next_seq(self) -> int:
+        self._seq += 1
+        return self._seq
+
+    # -- execution ------------------------------------------------------------------
+
+    def run(self, until: float | None = None, max_events: int | None = None) -> None:
+        """Execute events until the queue drains, *until* passes, or stop.
+
+        Parameters
+        ----------
+        until:
+            Inclusive time horizon: events at ``t <= until`` fire; the clock
+            is then advanced to *until* itself (so time-average statistics
+            cover the full horizon even if the last event fired earlier).
+        max_events:
+            Safety valve for runaway models; raises after this many firings.
+        """
+        if self._running:
+            raise SchedulingError("run() is not reentrant")
+        self._running = True
+        self._stopped = False
+        self._stop_reason = ""
+        budget = math.inf if max_events is None else int(max_events)
+        try:
+            while not self._stopped:
+                ev = self._queue.peek()
+                if ev is None:
+                    break
+                if until is not None and ev.time > until:
+                    break
+                popped = self._queue.pop()
+                assert popped is ev
+                self._now = ev.time
+                self._events_executed += 1
+                if self.pre_event_hooks:
+                    for hook in self.pre_event_hooks:
+                        hook(ev)
+                try:
+                    ev.fire()
+                except StopSimulation as sig:
+                    self._stopped = True
+                    self._stop_reason = sig.reason or "StopSimulation"
+                if self._events_executed >= budget:
+                    raise SchedulingError(
+                        f"max_events budget of {max_events} exhausted at t={self._now}"
+                    )
+            if until is not None and not self._stopped and self._now < until:
+                self._now = until
+        finally:
+            self._running = False
+
+    def step(self) -> bool:
+        """Fire exactly one event.  Returns False when the queue is empty."""
+        ev = self._queue.pop()
+        if ev is None:
+            return False
+        self._now = ev.time
+        self._events_executed += 1
+        if self.pre_event_hooks:
+            for hook in self.pre_event_hooks:
+                hook(ev)
+        try:
+            ev.fire()
+        except StopSimulation as sig:
+            self._stopped = True
+            self._stop_reason = sig.reason or "StopSimulation"
+        return True
+
+    def stop(self, reason: str = "") -> None:
+        """Request the run loop to end after the current event."""
+        self._stopped = True
+        self._stop_reason = reason or "stop() called"
+
+    def peek_time(self) -> float:
+        """Time of the next live event, or +inf when idle."""
+        ev = self._queue.peek()
+        return ev.time if ev is not None else math.inf
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (f"<Simulator t={self._now:.6g} pending={len(self._queue)} "
+                f"executed={self._events_executed}>")

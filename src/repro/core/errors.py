@@ -1,0 +1,103 @@
+"""Exception hierarchy for the simulation kernel.
+
+Every error raised deliberately by :mod:`repro` derives from
+:class:`SimulationError`, so callers can catch kernel problems without
+swallowing genuine programming errors (``TypeError`` etc.).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "SimulationError",
+    "SchedulingError",
+    "EventCancelledError",
+    "StopSimulation",
+    "ProcessError",
+    "InterruptError",
+    "ResourceError",
+    "CapacityError",
+    "TraceFormatError",
+    "TopologyError",
+    "RoutingError",
+    "CatalogError",
+    "EconomyError",
+    "ValidationError",
+    "ConfigurationError",
+]
+
+
+class SimulationError(Exception):
+    """Base class for all errors raised by the simulation framework."""
+
+
+class SchedulingError(SimulationError):
+    """An event was scheduled illegally (e.g. in the past, or after stop)."""
+
+
+class EventCancelledError(SimulationError):
+    """An operation was attempted on an event that has been cancelled."""
+
+
+class StopSimulation(Exception):  # noqa: N818 - control-flow signal, not an error
+    """Control-flow signal that stops the event loop immediately.
+
+    Raise from inside an event handler (or call
+    :meth:`repro.core.engine.Simulator.stop`) to end the run.  It derives
+    from ``Exception`` directly rather than :class:`SimulationError` so a
+    blanket ``except SimulationError`` in user code never eats it.
+    """
+
+    def __init__(self, reason: str = "") -> None:
+        super().__init__(reason)
+        self.reason = reason
+
+
+class ProcessError(SimulationError):
+    """A simulation process misbehaved (bad yield, dead process resumed...)."""
+
+
+class InterruptError(SimulationError):
+    """Thrown *into* a process when another entity interrupts it.
+
+    The ``cause`` attribute carries the interrupter-supplied payload.
+    """
+
+    def __init__(self, cause: object = None) -> None:
+        super().__init__(f"process interrupted: {cause!r}")
+        self.cause = cause
+
+
+class ResourceError(SimulationError):
+    """Illegal resource operation (double release, foreign request...)."""
+
+
+class CapacityError(ResourceError):
+    """A request exceeded a resource's total capacity and can never succeed."""
+
+
+class TraceFormatError(SimulationError):
+    """An event-trace or monitoring file is malformed."""
+
+
+class TopologyError(SimulationError):
+    """Network topology construction or lookup failed."""
+
+
+class RoutingError(TopologyError):
+    """No route exists between two endpoints."""
+
+
+class CatalogError(SimulationError):
+    """Replica-catalog inconsistency (unknown file, duplicate registration)."""
+
+
+class EconomyError(SimulationError):
+    """Computational-economy violation (overspend, bad price)."""
+
+
+class ValidationError(SimulationError):
+    """Analytic-model validation could not be computed (e.g. unstable queue)."""
+
+
+class ConfigurationError(SimulationError):
+    """A model was configured with inconsistent or out-of-range parameters."""

@@ -1,0 +1,382 @@
+"""Distributed simulation: logical processes with conservative synchronization.
+
+The taxonomy replaces Sulistio's serial/parallel split with
+**centralized vs distributed** execution, and observes (citing Misra 1986
+and Fujimoto 1993) that "despite over two decades of research, the
+technology of distributed simulations has not significantly impressed the
+general simulation community" — the overheads rarely pay off.  This module
+lets benchmark E7 measure *why*, on real protocols:
+
+* the model is partitioned into :class:`LogicalProcess` (LP) instances, each
+  owning a private :class:`~repro.core.engine.Simulator` clock;
+* LPs exchange timestamped messages over :class:`Channel` objects whose
+  **lookahead** (minimum propagation delay — e.g. WAN link latency between
+  simulated sites) bounds how far clocks may drift;
+* three executors run the same partitioned model:
+
+  :class:`SequentialExecutor`
+      The centralized reference — globally lowest-timestamp-first, exactly
+      one clock.  Any conservative executor must match its results.
+  :class:`CMBExecutor`
+      Chandy–Misra–Bryant null-message protocol (Misra 1986).  Counts the
+      null messages; small lookahead ⇒ null-message storms, the classic
+      failure mode.
+  :class:`WindowExecutor`
+      Synchronous-window ("YAWNS"-style) conservative execution: per epoch,
+      all events in ``[W, W + lookahead)`` are independent and may run
+      concurrently — optionally on a real thread pool, which also
+      demonstrates the GIL-bound ceiling of threaded Python DES.
+
+All executors are deterministic: cross-LP message merge order is fixed by
+``(receive time, source name, send sequence)``.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional, Sequence
+
+from .engine import Simulator
+from .errors import ConfigurationError, SchedulingError
+from .events import Priority
+
+__all__ = [
+    "Message",
+    "Channel",
+    "LogicalProcess",
+    "ExecutionStats",
+    "SequentialExecutor",
+    "CMBExecutor",
+    "WindowExecutor",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class Message:
+    """A timestamped inter-LP message.  ``null=True`` marks CMB null messages."""
+
+    recv_time: float
+    kind: str
+    payload: Any
+    src: str
+    seq: int
+    null: bool = False
+
+    @property
+    def order_key(self) -> tuple[float, str, int]:
+        """Deterministic delivery order: (time, source, sequence)."""
+        return (self.recv_time, self.src, self.seq)
+
+
+class Channel:
+    """Directed FIFO link between two LPs with a strictly positive lookahead.
+
+    ``clock`` is the channel's guarantee: the source promises never to send
+    a message with receive-time below it.  Real messages and null messages
+    both advance it.
+    """
+
+    def __init__(self, src: "LogicalProcess", dst: "LogicalProcess",
+                 lookahead: float) -> None:
+        if lookahead <= 0:
+            raise ConfigurationError(
+                f"lookahead must be > 0 for conservative sync, got {lookahead}")
+        self.src = src
+        self.dst = dst
+        self.lookahead = float(lookahead)
+        self.clock = 0.0
+        self.pending: list[Message] = []
+        self.messages_sent = 0
+        self.nulls_sent = 0
+        # Guards `pending` against the threaded WindowExecutor, where the
+        # source appends while the destination drains.
+        self._lock = threading.Lock()
+
+    def send(self, msg: Message) -> None:
+        """Accept a message, enforcing the channel-clock promise."""
+        if msg.recv_time < self.clock - 1e-12 and not msg.null:
+            raise SchedulingError(
+                f"channel {self.src.name}->{self.dst.name}: message at "
+                f"{msg.recv_time} violates channel clock {self.clock}")
+        if msg.null:
+            self.nulls_sent += 1
+            self.clock = max(self.clock, msg.recv_time)
+        else:
+            self.messages_sent += 1
+            self.clock = max(self.clock, msg.recv_time)
+            with self._lock:
+                self.pending.append(msg)
+
+    def take_ready(self, up_to: float) -> list[Message]:
+        """Atomically remove and return messages with recv_time <= up_to."""
+        with self._lock:
+            ready = [m for m in self.pending if m.recv_time <= up_to + 1e-12]
+            if ready:
+                self.pending = [m for m in self.pending
+                                if m.recv_time > up_to + 1e-12]
+        return ready
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (f"<Channel {self.src.name}->{self.dst.name} la={self.lookahead} "
+                f"clock={self.clock:.6g}>")
+
+
+class LogicalProcess:
+    """One partition of a distributed simulation model.
+
+    Owns a private :class:`Simulator`; model code schedules local events on
+    ``lp.sim`` and communicates with other partitions only via
+    :meth:`send`.  Message arrival invokes the handler registered with
+    :meth:`on_message` *at the receive time on the local clock*.
+    """
+
+    def __init__(self, name: str, queue: str = "heap", seed: int = 0) -> None:
+        self.name = name
+        self.sim = Simulator(queue=queue, seed=seed)
+        self.outputs: dict[str, Channel] = {}
+        self.inputs: dict[str, Channel] = {}
+        self._handlers: dict[str, Callable[["LogicalProcess", Message], None]] = {}
+        self._send_seq = 0
+        self.events_executed_total = 0
+
+    def connect(self, dst: "LogicalProcess", lookahead: float) -> Channel:
+        """Create (or return) the channel ``self -> dst``."""
+        ch = self.outputs.get(dst.name)
+        if ch is None:
+            ch = Channel(self, dst, lookahead)
+            self.outputs[dst.name] = ch
+            dst.inputs[self.name] = ch
+        return ch
+
+    def on_message(self, kind: str,
+                   handler: Callable[["LogicalProcess", Message], None]) -> "LogicalProcess":
+        """Register the callback for incoming messages of *kind*; chainable."""
+        self._handlers[kind] = handler
+        return self
+
+    def send(self, dst_name: str, kind: str, payload: Any = None,
+             extra_delay: float = 0.0) -> Message:
+        """Send to the LP named *dst_name*; arrives after lookahead+extra."""
+        ch = self.outputs.get(dst_name)
+        if ch is None:
+            raise ConfigurationError(f"LP {self.name!r} has no channel to {dst_name!r}")
+        if extra_delay < 0:
+            raise ConfigurationError(f"extra_delay must be >= 0, got {extra_delay}")
+        self._send_seq += 1
+        msg = Message(self.sim.now + ch.lookahead + extra_delay, kind, payload,
+                      self.name, self._send_seq)
+        ch.send(msg)
+        return msg
+
+    def send_null(self, lower_bound: float) -> None:
+        """Promise all neighbours no message below ``lower_bound + lookahead``."""
+        for ch in self.outputs.values():
+            ts = lower_bound + ch.lookahead
+            if ts > ch.clock:
+                self._send_seq += 1
+                ch.send(Message(ts, "__null__", None, self.name, self._send_seq,
+                                null=True))
+
+    # -- executor plumbing ------------------------------------------------------
+
+    def deliver_pending(self, up_to: float) -> int:
+        """Move channel messages with recv_time <= up_to into the local queue.
+
+        Messages from *all* input channels are merged and sorted by
+        ``order_key`` before scheduling, so same-timestamp deliveries are
+        ordered identically under every executor.
+        """
+        ready: list[Message] = []
+        for ch in self.inputs.values():
+            ready.extend(ch.take_ready(up_to))
+        ready.sort(key=lambda m: m.order_key)
+        for msg in ready:
+            self.sim.schedule_at(
+                max(msg.recv_time, self.sim.now), self._dispatch, msg,
+                priority=Priority.HIGH, label=f"recv:{msg.kind}")
+        return len(ready)
+
+    def _dispatch(self, msg: Message) -> None:
+        handler = self._handlers.get(msg.kind)
+        if handler is None:
+            raise ConfigurationError(
+                f"LP {self.name!r}: no handler for message kind {msg.kind!r}")
+        handler(self, msg)
+
+    def input_floor(self) -> float:
+        """Min over input channels of their clock (inf when no inputs)."""
+        if not self.inputs:
+            return math.inf
+        return min(ch.clock for ch in self.inputs.values())
+
+    def next_event_time(self) -> float:
+        """Earliest pending work: local queue or undelivered channel message."""
+        t = self.sim.peek_time()
+        for ch in self.inputs.values():
+            for msg in ch.pending:
+                t = min(t, msg.recv_time)
+        return t
+
+    def advance(self, horizon: float) -> int:
+        """Deliver + execute everything with time <= horizon.  Returns count."""
+        before = self.sim.events_executed
+        self.deliver_pending(horizon)
+        # Delivering may schedule new local events; loop until quiescent
+        # below the horizon (handler sends go to *other* LPs, so one
+        # deliver/run round per level suffices; loop guards self-sends).
+        while self.sim.peek_time() <= horizon:
+            self.sim.run(until=horizon)
+            if self.deliver_pending(horizon) == 0:
+                break
+        executed = self.sim.events_executed - before
+        self.events_executed_total += executed
+        return executed
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<LP {self.name!r} t={self.sim.now:.6g}>"
+
+
+@dataclass(slots=True)
+class ExecutionStats:
+    """What an executor did — the E7 comparison record."""
+
+    executor: str
+    lps: int
+    events: int = 0
+    null_messages: int = 0
+    real_messages: int = 0
+    epochs: int = 0
+    wall_seconds: float = 0.0
+    #: mean events per epoch per LP — the available-parallelism metric
+    parallelism: float = 0.0
+
+
+def _collect_stats(name: str, lps: Sequence[LogicalProcess],
+                   epochs: int) -> ExecutionStats:
+    nulls = sum(ch.nulls_sent for lp in lps for ch in lp.outputs.values())
+    real = sum(ch.messages_sent for lp in lps for ch in lp.outputs.values())
+    events = sum(lp.events_executed_total for lp in lps)
+    stats = ExecutionStats(name, len(lps), events=events, null_messages=nulls,
+                           real_messages=real, epochs=epochs)
+    if epochs > 0 and lps:
+        stats.parallelism = events / epochs / len(lps)
+    return stats
+
+
+class SequentialExecutor:
+    """Centralized reference: always run the globally earliest LP next."""
+
+    name = "sequential"
+
+    def run(self, lps: Sequence[LogicalProcess], until: float) -> ExecutionStats:
+        steps = 0
+        while True:
+            best: Optional[LogicalProcess] = None
+            best_t = math.inf
+            for lp in lps:
+                t = lp.next_event_time()
+                if t < best_t:
+                    best_t = t
+                    best = lp
+            if best is None or best_t > until:
+                break
+            # Execute exactly the earliest timestamp cluster on that LP.
+            best.advance(best_t)
+            steps += 1
+        for lp in lps:
+            lp.advance(until)  # drain anything at the horizon boundary
+        return _collect_stats(self.name, lps, steps)
+
+
+class CMBExecutor:
+    """Chandy–Misra–Bryant conservative execution with null messages.
+
+    Each round, every LP executes up to its input floor (the safe bound),
+    then advertises its new lower bound on future sends via null messages.
+    Rounds repeat until no LP has work at or below *until*.  The null-message
+    count — the protocol's famous overhead — scales inversely with lookahead.
+    """
+
+    name = "cmb"
+
+    def __init__(self, max_rounds: int = 10_000_000) -> None:
+        self.max_rounds = max_rounds
+
+    def run(self, lps: Sequence[LogicalProcess], until: float) -> ExecutionStats:
+        rounds = 0
+        for _ in range(self.max_rounds):
+            rounds += 1
+            progressed = False
+            for lp in lps:
+                # Strictly below the input floor is provably safe: channel
+                # clocks only promise nothing *below* them, so an event at
+                # exactly the floor could still be preempted by a message.
+                floor = lp.input_floor()
+                safe = min(floor - 1e-9 if math.isfinite(floor) else floor, until)
+                if lp.next_event_time() <= safe:
+                    if lp.advance(safe) > 0:
+                        progressed = True
+                # Null message: the LP's future sends happen no earlier than
+                # max(local clock, min(next local event, input floor)).
+                lower = min(max(lp.sim.now, min(lp.next_event_time(), floor)),
+                            until)
+                lp.send_null(lower)
+            done = all(lp.next_event_time() > until for lp in lps)
+            if done:
+                break
+            if not progressed:
+                # Clocks must advance through nulls alone; if even the floors
+                # are stuck the configuration has a zero-lookahead cycle.
+                floors = [min(lp.input_floor(), lp.next_event_time()) for lp in lps]
+                if all(f > until for f in floors):
+                    break
+        else:  # pragma: no cover - guarded by max_rounds
+            raise SchedulingError("CMB executor exceeded max_rounds; "
+                                  "likely zero-lookahead cycle")
+        for lp in lps:
+            lp.advance(until)
+        return _collect_stats(self.name, lps, rounds)
+
+
+class WindowExecutor:
+    """Synchronous conservative windows; optional thread-pool parallelism.
+
+    Epoch protocol: let ``W`` be the globally earliest pending timestamp and
+    ``L`` the minimum lookahead over all channels.  Every event in
+    ``[W, W+L)`` is causally independent across LPs (any cross-LP influence
+    needs >= L of propagation), so all LPs may process that window
+    concurrently, then exchange messages at a barrier.
+    """
+
+    name = "window"
+
+    def __init__(self, threads: int | None = None) -> None:
+        #: None = run LPs in-line (no pool); N = real ThreadPoolExecutor(N).
+        self.threads = threads
+
+    def run(self, lps: Sequence[LogicalProcess], until: float) -> ExecutionStats:
+        lookaheads = [ch.lookahead for lp in lps for ch in lp.outputs.values()]
+        min_la = min(lookaheads) if lookaheads else math.inf
+        epochs = 0
+        pool = ThreadPoolExecutor(self.threads) if self.threads else None
+        try:
+            while True:
+                w = min((lp.next_event_time() for lp in lps), default=math.inf)
+                if w > until:
+                    break
+                horizon = min(until, w + min_la * 0.999999) if math.isfinite(min_la) else until
+                epochs += 1
+                if pool is not None:
+                    list(pool.map(lambda lp: lp.advance(horizon), lps))
+                else:
+                    for lp in lps:
+                        lp.advance(horizon)
+        finally:
+            if pool is not None:
+                pool.shutdown(wait=True)
+        for lp in lps:
+            lp.advance(until)
+        return _collect_stats(self.name, lps, epochs)

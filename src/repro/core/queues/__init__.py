@@ -1,0 +1,53 @@
+"""Event-list structures for the DES kernel.
+
+See :mod:`repro.core.queues.base` for the interface and the rationale
+(the taxonomy's *engine optimization* axis).  :func:`make_queue` builds a
+structure by name, which is how engines and benchmarks select one.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from .base import EventQueue
+from .calendar import CalendarQueue
+from .heap import HeapQueue
+from .ladder import LadderQueue
+from .linear import LinearQueue
+from .splay import SplayQueue
+
+__all__ = [
+    "EventQueue",
+    "LinearQueue",
+    "HeapQueue",
+    "SplayQueue",
+    "CalendarQueue",
+    "LadderQueue",
+    "QUEUE_FACTORIES",
+    "make_queue",
+]
+
+#: Registry of constructible event-list structures, keyed by short name.
+QUEUE_FACTORIES: dict[str, Callable[[], EventQueue]] = {
+    "linear": LinearQueue,
+    "heap": HeapQueue,
+    "splay": SplayQueue,
+    "calendar": CalendarQueue,
+    "ladder": LadderQueue,
+}
+
+
+def make_queue(kind: str = "heap") -> EventQueue:
+    """Instantiate an event-list structure by registry name.
+
+    Raises
+    ------
+    KeyError
+        If *kind* is not one of :data:`QUEUE_FACTORIES`.
+    """
+    try:
+        return QUEUE_FACTORIES[kind]()
+    except KeyError:
+        raise KeyError(
+            f"unknown event queue kind {kind!r}; choose from {sorted(QUEUE_FACTORIES)}"
+        ) from None

@@ -1,0 +1,123 @@
+"""Pluggable event-list structures.
+
+The ICPP'09 paper singles out the *queuing structure adopted in the design of
+the simulation engine for managing the event lists* as a first-order
+performance concern: "A system using an O(1) structure for the event list
+will behave better than another one using an O(log n) queuing structure",
+while also noting that "there is not a single unanimity accepted queuing
+structure that performs best" — behaviour depends on the event-time
+distribution.  This subpackage makes that claim testable: five structures
+with different asymptotics share one interface, and every engine accepts any
+of them.
+
+All structures implement *lazy deletion*: :meth:`EventQueue.pop` silently
+discards events whose :attr:`~repro.core.events.Event.cancelled` flag is set,
+so cancellation is O(1) regardless of structure.
+
+Implementations
+---------------
+============================  ==========================  =======================
+class                         insert / delete-min         notes
+============================  ==========================  =======================
+:class:`~.linear.LinearQueue`    O(n) / O(1)              cautionary baseline
+:class:`~.heap.HeapQueue`        O(log n) / O(log n)      robust default
+:class:`~.splay.SplayQueue`      amortized O(log n)       exploits access locality
+:class:`~.calendar.CalendarQueue`  amortized O(1)         the paper's "O(1)"
+:class:`~.ladder.LadderQueue`    amortized O(1)           skew-resistant
+============================  ==========================  =======================
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Iterator, Optional
+
+from ..events import Event
+
+__all__ = ["EventQueue"]
+
+
+class EventQueue(abc.ABC):
+    """Abstract priority queue over :class:`~repro.core.events.Event`.
+
+    Contract (enforced by the shared conformance suite in
+    ``tests/test_queues.py``):
+
+    * :meth:`pop` returns live events in non-decreasing
+      :attr:`~repro.core.events.Event.sort_key` order, exactly once each.
+    * Cancelled events are never returned and do not count toward
+      :meth:`live_len`.
+    * ``len(q)`` may include cancelled-but-unpurged events (it is the raw
+      slot count); :meth:`live_len` is exact but may be O(n).
+    """
+
+    @abc.abstractmethod
+    def push(self, event: Event) -> None:
+        """Insert *event*.  The queue never mutates the event."""
+
+    @abc.abstractmethod
+    def _pop_any(self) -> Optional[Event]:
+        """Remove and return the minimum event, live or cancelled.
+
+        Returns ``None`` when empty.  Subclasses implement only this;
+        the lazy-deletion loop lives in :meth:`pop`.
+        """
+
+    @abc.abstractmethod
+    def __len__(self) -> int:
+        """Raw number of stored records (may include cancelled events)."""
+
+    # -- shared behaviour ----------------------------------------------------
+
+    def pop(self) -> Optional[Event]:
+        """Remove and return the earliest *live* event, or ``None`` if empty."""
+        while True:
+            ev = self._pop_any()
+            if ev is None or not ev.cancelled:
+                return ev
+
+    def peek(self) -> Optional[Event]:
+        """Return (without removing) the earliest live event, or ``None``.
+
+        Default implementation pops then re-pushes; structures with a cheap
+        find-min override it.
+        """
+        ev = self.pop()
+        if ev is not None:
+            self.push(ev)
+        return ev
+
+    def __bool__(self) -> bool:
+        return self.peek() is not None
+
+    def live_len(self) -> int:
+        """Exact count of live (non-cancelled) events.  May be O(n)."""
+        return sum(1 for ev in self._iter_events() if not ev.cancelled)
+
+    def _iter_events(self) -> Iterator[Event]:
+        """Iterate stored events in arbitrary order (for diagnostics).
+
+        Subclasses should override; default drains and restores the queue,
+        which is correct but costly.
+        """
+        drained = []
+        while True:
+            ev = self._pop_any()
+            if ev is None:
+                break
+            drained.append(ev)
+        for ev in drained:
+            self.push(ev)
+        yield from drained
+
+    def drain(self) -> list[Event]:
+        """Remove and return all live events in order (used by trace dump)."""
+        out = []
+        while True:
+            ev = self.pop()
+            if ev is None:
+                return out
+            out.append(ev)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} len={len(self)}>"

@@ -1,0 +1,44 @@
+"""Binary-heap event queue — the O(log n) workhorse.
+
+The structure most production DES engines default to: ``heapq`` over
+``(time, priority, seq)`` keys.  Both insert and delete-min are O(log n)
+with small constants (CPython's ``heapq`` is C-accelerated), making it the
+robust choice the paper contrasts with amortized-O(1) calendar structures.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Iterator, Optional
+
+from ..events import Event
+from .base import EventQueue
+
+__all__ = ["HeapQueue"]
+
+
+class HeapQueue(EventQueue):
+    """Binary min-heap: O(log n) insert and delete-min."""
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[float, int, int, Event]] = []
+
+    def push(self, event: Event) -> None:
+        heapq.heappush(self._heap, (event.time, event.priority, event.seq, event))
+
+    def _pop_any(self) -> Optional[Event]:
+        if not self._heap:
+            return None
+        return heapq.heappop(self._heap)[3]
+
+    def peek(self) -> Optional[Event]:
+        while self._heap and self._heap[0][3].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0][3] if self._heap else None
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def _iter_events(self) -> Iterator[Event]:
+        for entry in self._heap:
+            yield entry[3]

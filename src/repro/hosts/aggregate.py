@@ -1,0 +1,125 @@
+"""Model simplification: aggregating resources to simulate larger systems.
+
+Taxonomy §5 names the engine-side remedies for scale — better event queues,
+better entity scheduling, "various simplification mechanisms".  This module
+is the third remedy: *coarsening* a detailed grid into an equivalent
+smaller one, trading per-site fidelity for event volume.
+
+Two levels:
+
+* :func:`aggregate_machines` — replace a site's machine list with one
+  equivalent machine (summed PEs, capacity-weighted rating).  Exact for
+  space-shared FCFS workloads up to queue *pooling* (one shared queue
+  instead of per-machine queues — a slightly optimistic approximation,
+  quantified in benchmark E14).
+* :func:`coarsen_grid` — merge groups of sites into super-sites on a
+  star topology: PEs and disk capacities sum, group access bandwidth sums
+  (members can transfer in parallel), latency averages.  Intra-group
+  transfers become free — the approximation that breaks first when
+  intra-group traffic matters, which E14's error columns expose.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from ..core.engine import Simulator
+from ..core.errors import ConfigurationError
+from .cpu import Machine, SpaceSharedMachine
+from .site import Grid, Site
+from .storage import Disk
+from ..network.topology import Topology
+
+__all__ = ["aggregate_machines", "coarsen_grid"]
+
+
+def aggregate_machines(sim: Simulator, machines: Sequence[Machine],
+                       name: str = "aggregate") -> SpaceSharedMachine:
+    """One space-shared machine equivalent to *machines*.
+
+    PEs sum; the rating is the capacity-weighted mean so total MIPS is
+    preserved exactly.  (A mixed-rating pool is approximated by a uniform
+    one — each job's service time becomes the fleet average.)
+    """
+    if not machines:
+        raise ConfigurationError("cannot aggregate zero machines")
+    total_pes = sum(m.pes for m in machines)
+    total_mips = sum(m.pes * m.rating for m in machines)
+    return SpaceSharedMachine(sim, pes=total_pes,
+                              rating=total_mips / total_pes, name=name)
+
+
+def coarsen_grid(sim: Simulator, grid: Grid,
+                 groups: Mapping[str, Sequence[str]],
+                 hub: str = "AGG-WAN", latency: float | None = None) -> Grid:
+    """Build a coarse :class:`Grid` on *sim* by merging site groups.
+
+    Parameters
+    ----------
+    sim:
+        The (fresh) simulator the coarse model will run on.
+    grid:
+        The detailed grid to read resource totals from.
+    groups:
+        ``{super_site_name: [member site names]}``; every compute/storage
+        site being modelled must appear in exactly one group.
+    latency:
+        Access-link latency for the coarse star (default: mean of the
+        members' first-hop latencies).
+    """
+    if not groups:
+        raise ConfigurationError("need at least one group")
+    seen: set[str] = set()
+    for members in groups.values():
+        for m in members:
+            if m in seen:
+                raise ConfigurationError(f"site {m!r} appears in two groups")
+            seen.add(m)
+            grid.site(m)  # validates existence
+    topo = Topology()
+    topo.add_node(hub, kind="backbone")
+    sites = []
+    for gname, members in sorted(groups.items()):
+        msites = [grid.site(m) for m in members]
+        # -- compute: sum PEs, preserve total MIPS -----------------------------
+        pes = sum(s.total_pes for s in msites)
+        mips = sum(s.total_mips for s in msites)
+        machines = []
+        if pes > 0:
+            machines.append(SpaceSharedMachine(
+                sim, pes=pes, rating=mips / pes, name=f"{gname}-agg"))
+        # -- storage: sum capacity, keep the best rates ------------------------
+        disks = [s.disk for s in msites if s.disk is not None]
+        disk = None
+        if disks:
+            disk = Disk(sim, sum(d.capacity for d in disks),
+                        read_rate=max(d.read_rate for d in disks),
+                        write_rate=max(d.write_rate for d in disks),
+                        name=f"{gname}-disk")
+            for d in disks:  # carry the files over
+                for f in d.files:
+                    if not disk.has(f.name):
+                        disk.store(f)
+        # -- network: member access links act in parallel ----------------------
+        bw = 0.0
+        lats = []
+        for s in msites:
+            links = grid.topology.route_links(s.name, _first_neighbour(grid, s.name))
+            if links:
+                bw += links[0].bandwidth
+                lats.append(links[0].latency)
+        if bw <= 0:
+            bw = 1e9
+        topo.add_link(gname, hub, bw,
+                      latency if latency is not None
+                      else (sum(lats) / len(lats) if lats else 0.01))
+        sites.append(Site(sim, gname, machines=machines, disk=disk))
+    return Grid(sim, topo, sites)
+
+
+def _first_neighbour(grid: Grid, name: str) -> str:
+    """Any directly linked node (used to read the access link's capacity)."""
+    for link in grid.topology.links:
+        if link.src == name:
+            return link.dst
+    return name

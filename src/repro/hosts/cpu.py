@@ -1,0 +1,337 @@
+"""Processing elements and machines: time-shared and space-shared CPUs.
+
+Taxonomy *host characteristics*: "how different simulators model the load of
+the computing nodes, the granularity of jobs being processed".  GridSim's
+distinction is reproduced exactly: **space-shared** machines (batch nodes —
+each job monopolizes one PE, FCFS) and **time-shared** machines (interactive
+nodes — all jobs progress simultaneously under processor sharing).
+
+Work is measured in MI (millions of instructions), PE speed in MIPS, so a
+job of length L on a PE of rating R takes L/R seconds when running alone.
+Both machine kinds accept any object with a ``length`` attribute and return
+a :class:`JobRun` waitable, so middleware schedulers never care which kind
+they dispatch to.
+
+Background load (the Bricks ingredient) multiplies effective capacity by
+``1 - load``; see :mod:`repro.hosts.load` for injectors that vary it.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from ..core.engine import Simulator
+from ..core.errors import ConfigurationError
+from ..core.events import Event
+from ..core.monitor import Monitor
+from ..core.process import Waitable
+
+__all__ = ["JobRun", "Machine", "SpaceSharedMachine", "TimeSharedMachine"]
+
+
+class JobRun(Waitable):
+    """One job's execution on a machine.  Completes with itself."""
+
+    _counter = 0
+
+    def __init__(self, job, submitted: float) -> None:
+        super().__init__()
+        JobRun._counter += 1
+        self.id = JobRun._counter
+        self.job = job
+        self.length = float(getattr(job, "length", job))
+        if self.length <= 0:
+            raise ConfigurationError(f"job length must be > 0, got {self.length}")
+        self.submitted = submitted
+        self.started: Optional[float] = None
+        self.finished: Optional[float] = None
+        # time-shared bookkeeping
+        self.remaining = self.length
+        self.rate = 0.0
+        self._last_update = submitted
+        self._completion: Optional[Event] = None
+
+    @property
+    def queue_delay(self) -> float:
+        """Submission-to-start wait (NaN until started)."""
+        return (self.started - self.submitted) if self.started is not None else float("nan")
+
+    @property
+    def turnaround(self) -> float:
+        """Submission-to-completion time (NaN until finished)."""
+        return (self.finished - self.submitted) if self.finished is not None else float("nan")
+
+    def __repr__(self) -> str:  # pragma: no cover
+        state = "done" if self.finished is not None else "running/queued"
+        return f"<JobRun #{self.id} len={self.length:.4g} {state}>"
+
+
+class Machine:
+    """Common interface: ``submit(job) -> JobRun``; concrete policies below.
+
+    Parameters
+    ----------
+    pes:
+        Number of processing elements.
+    rating:
+        MIPS per processing element.
+    """
+
+    kind = "abstract"
+
+    def __init__(self, sim: Simulator, pes: int = 1, rating: float = 1000.0,
+                 name: str = "machine") -> None:
+        if pes < 1:
+            raise ConfigurationError(f"pes must be >= 1, got {pes}")
+        if rating <= 0:
+            raise ConfigurationError(f"rating must be > 0, got {rating}")
+        self.sim = sim
+        self.pes = pes
+        self.rating = float(rating)
+        self.name = name
+        self._background = 0.0
+        self.monitor = Monitor(name)
+        self._busy_level = self.monitor.level("busy_pes", start_time=sim.now)
+        self.completed = 0
+
+    @property
+    def total_mips(self) -> float:
+        """Aggregate effective capacity after background load."""
+        return self.pes * self.rating * (1.0 - self._background)
+
+    @property
+    def background_load(self) -> float:
+        """Current external-load fraction in [0, 1)."""
+        return self._background
+
+    def set_background_load(self, fraction: float) -> None:
+        """External (non-grid) load stealing a fraction of the capacity."""
+        if not 0.0 <= fraction < 1.0:
+            raise ConfigurationError(f"background load must be in [0,1), got {fraction}")
+        self._on_capacity_change(fraction)
+
+    def _on_capacity_change(self, fraction: float) -> None:
+        self._background = fraction
+
+    def submit(self, job) -> JobRun:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    @property
+    def running(self) -> int:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    @property
+    def queued(self) -> int:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def estimated_completion(self, length: float) -> float:
+        """Scheduler hint: when would a job of *length* finish if submitted
+        now?  Concrete machines refine this; the default is optimistic."""
+        return self.sim.now + length / (self.rating * (1.0 - self._background))
+
+    def _finish_run(self, run: JobRun) -> None:
+        run.finished = self.sim.now
+        self.completed += 1
+        self.monitor.tally("turnaround").record(run.turnaround)
+        self.monitor.tally("queue_delay").record(run.queue_delay)
+        run._complete(run)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<{type(self).__name__} {self.name!r} pes={self.pes} rating={self.rating}>"
+
+
+class SpaceSharedMachine(Machine):
+    """Batch semantics: one job per PE, FCFS queue when all PEs busy.
+
+    Supports failure injection: :meth:`fail` stops the machine (running
+    jobs are requeued — with their remaining work under the ``checkpoint``
+    policy, or from scratch under ``restart``) and :meth:`repair` brings it
+    back.  Submissions during downtime queue normally.
+    """
+
+    kind = "space-shared"
+
+    def __init__(self, sim: Simulator, pes: int = 1, rating: float = 1000.0,
+                 name: str = "space-shared",
+                 restart_policy: str = "checkpoint") -> None:
+        if restart_policy not in ("checkpoint", "restart"):
+            raise ConfigurationError(
+                f"restart_policy must be checkpoint|restart, got {restart_policy!r}")
+        super().__init__(sim, pes, rating, name)
+        self.restart_policy = restart_policy
+        self._queue: list[JobRun] = []
+        self._running: set[JobRun] = set()
+        self._failed = False
+        self.failures = 0
+
+    @property
+    def failed(self) -> bool:
+        """True while the machine is down."""
+        return self._failed
+
+    def fail(self) -> int:
+        """Crash the machine; returns how many running jobs were evicted."""
+        if self._failed:
+            return 0
+        self._failed = True
+        self.failures += 1
+        self.monitor.counter("failures").increment(self.sim.now)
+        victims = list(self._running)
+        for run in victims:
+            assert run._completion is not None
+            if self.restart_policy == "checkpoint":
+                rate = self.rating * (1.0 - self._background)
+                run.remaining = max(0.0,
+                                    (run._completion.time - self.sim.now) * rate)
+            else:
+                run.remaining = run.length
+            run._completion.cancel()
+            run._completion = None
+            self._running.discard(run)
+        # evicted jobs go to the *front* of the queue, oldest first
+        self._queue[:0] = sorted(victims, key=lambda r: r.submitted)
+        self._busy_level.set(self.sim.now, 0)
+        return len(victims)
+
+    def repair(self) -> None:
+        """Bring the machine back; queued work resumes immediately."""
+        if not self._failed:
+            return
+        self._failed = False
+        self.monitor.counter("repairs").increment(self.sim.now)
+        while self._queue and len(self._running) < self.pes:
+            self._start(self._queue.pop(0))
+
+    def submit(self, job) -> JobRun:
+        run = JobRun(job, self.sim.now)
+        if not self._failed and len(self._running) < self.pes:
+            self._start(run)
+        else:
+            self._queue.append(run)
+        return run
+
+    @property
+    def running(self) -> int:
+        return len(self._running)
+
+    @property
+    def queued(self) -> int:
+        return len(self._queue)
+
+    def estimated_completion(self, length: float) -> float:
+        """FCFS estimate: wait for the earliest-ending PE through the queue."""
+        ends = sorted((r._completion.time if r._completion else self.sim.now)
+                      for r in self._running)
+        free_at = list(ends) + [self.sim.now] * (self.pes - len(ends))
+        free_at.sort()
+        rate = self.rating * (1.0 - self._background)
+        for qr in self._queue:
+            t0 = free_at.pop(0)
+            free_at.append(t0 + qr.length / rate)
+            free_at.sort()
+        return free_at[0] + length / rate
+
+    def _start(self, run: JobRun) -> None:
+        if run.started is None:
+            run.started = self.sim.now
+        # `remaining` equals `length` for fresh runs and the checkpointed
+        # residue for runs evicted by a failure.
+        service = run.remaining / (self.rating * (1.0 - self._background))
+        run._completion = self.sim.schedule(service, self._depart, run,
+                                            label=f"job_done:{self.name}")
+        self._running.add(run)
+        self._busy_level.set(self.sim.now, len(self._running))
+
+    def _depart(self, run: JobRun) -> None:
+        self._running.discard(run)
+        self._busy_level.set(self.sim.now, len(self._running))
+        self._finish_run(run)
+        if self._queue and len(self._running) < self.pes:
+            self._start(self._queue.pop(0))
+
+    def _on_capacity_change(self, fraction: float) -> None:
+        """Re-time running jobs at the new effective rating."""
+        old_rate = self.rating * (1.0 - self._background)
+        super()._on_capacity_change(fraction)
+        new_rate = self.rating * (1.0 - self._background)
+        for run in self._running:
+            assert run._completion is not None
+            left = (run._completion.time - self.sim.now) * old_rate  # MI left
+            run.remaining = left  # keep failure checkpointing consistent
+            run._completion.cancel()
+            run._completion = self.sim.schedule(
+                left / new_rate, self._depart, run, label=f"job_done:{self.name}")
+
+
+class TimeSharedMachine(Machine):
+    """Processor sharing: every job runs at ``min(rating, total/n)`` MIPS.
+
+    The per-job cap at one PE's rating mirrors real round-robin scheduling:
+    a single job cannot use more than one processor.  Rates are recomputed
+    on every arrival/departure, exactly like the flow network's max-min
+    update (it is the same O(n) reallocation pattern).
+    """
+
+    kind = "time-shared"
+
+    def __init__(self, sim: Simulator, pes: int = 1, rating: float = 1000.0,
+                 name: str = "time-shared") -> None:
+        super().__init__(sim, pes, rating, name)
+        self._active: list[JobRun] = []
+
+    def submit(self, job) -> JobRun:
+        run = JobRun(job, self.sim.now)
+        run.started = self.sim.now  # PS admits immediately
+        run._last_update = self.sim.now
+        self._active.append(run)
+        self._busy_level.set(self.sim.now, min(len(self._active), self.pes))
+        self._reallocate()
+        return run
+
+    @property
+    def running(self) -> int:
+        return len(self._active)
+
+    @property
+    def queued(self) -> int:
+        return 0  # PS has no queue; everyone runs (slowly)
+
+    def estimated_completion(self, length: float) -> float:
+        """PS estimate: finish time if one more job joined now."""
+        n = len(self._active) + 1
+        rate = min(self.rating * (1.0 - self._background),
+                   self.total_mips / n)
+        return self.sim.now + length / rate if rate > 0 else math.inf
+
+    def _settle(self, run: JobRun) -> None:
+        dt = self.sim.now - run._last_update
+        if dt > 0:
+            run.remaining = max(0.0, run.remaining - run.rate * dt)
+        run._last_update = self.sim.now
+
+    def _reallocate(self) -> None:
+        n = len(self._active)
+        if n == 0:
+            return
+        per_pe = self.rating * (1.0 - self._background)
+        share = min(per_pe, self.total_mips / n)
+        for run in self._active:
+            self._settle(run)
+            run.rate = share
+            if run._completion is not None:
+                run._completion.cancel()
+            eta = run.remaining / share if share > 0 else math.inf
+            run._completion = self.sim.schedule(eta, self._depart, run,
+                                                label=f"job_done:{self.name}")
+
+    def _depart(self, run: JobRun) -> None:
+        self._settle(run)
+        self._active.remove(run)
+        self._busy_level.set(self.sim.now, min(len(self._active), self.pes))
+        self._finish_run(run)
+        self._reallocate()
+
+    def _on_capacity_change(self, fraction: float) -> None:
+        super()._on_capacity_change(fraction)
+        self._reallocate()

@@ -1,0 +1,90 @@
+"""Failure injection: crash/repair processes for availability studies.
+
+Real large-scale systems lose nodes continuously; a simulator that cannot
+express failures cannot evaluate the fault-tolerance half of middleware
+design (replication exists precisely because disks and hosts die).  The
+injector drives any :class:`~repro.hosts.cpu.SpaceSharedMachine` through
+exponential UP/DOWN cycles:
+
+* TTF (time to failure) ~ Exp(``mtbf``) while up;
+* TTR (time to repair) ~ Exp(``mttr``) while down;
+* on failure, running jobs are evicted per the machine's
+  ``restart_policy`` (``checkpoint`` keeps the finished work, ``restart``
+  loses it — the lost-work gap is the classic checkpointing argument,
+  tested in ``tests/test_failures.py``).
+"""
+
+from __future__ import annotations
+
+from ..core.engine import Simulator
+from ..core.errors import ConfigurationError
+from ..core.monitor import Monitor
+from ..core.rng import Stream
+from .cpu import SpaceSharedMachine
+
+__all__ = ["MachineFailureInjector"]
+
+
+class MachineFailureInjector:
+    """Exponential UP/DOWN cycling for one machine.
+
+    Parameters
+    ----------
+    mtbf:
+        Mean time between failures (mean UP duration).
+    mttr:
+        Mean time to repair (mean DOWN duration).
+    horizon:
+        No new failures are injected past this time (repairs still
+        complete), keeping bounded runs bounded.
+    """
+
+    def __init__(self, sim: Simulator, machine: SpaceSharedMachine,
+                 stream: Stream, mtbf: float = 1000.0, mttr: float = 50.0,
+                 horizon: float = float("inf")) -> None:
+        if mtbf <= 0 or mttr <= 0:
+            raise ConfigurationError("mtbf and mttr must be > 0")
+        if not isinstance(machine, SpaceSharedMachine):
+            raise ConfigurationError(
+                "failure injection currently supports space-shared machines")
+        self.sim = sim
+        self.machine = machine
+        self.stream = stream
+        self.mtbf = mtbf
+        self.mttr = mttr
+        self.horizon = horizon
+        self.monitor = Monitor(f"failures-{machine.name}")
+        self.downtime = 0.0
+        self._down_since: float | None = None
+        self._arm_failure()
+
+    def _arm_failure(self) -> None:
+        ttf = self.stream.exponential(self.mtbf)
+        if self.sim.now + ttf < self.horizon:
+            self.sim.schedule(ttf, self._crash, label="machine_crash")
+
+    def _crash(self) -> None:
+        evicted = self.machine.fail()
+        self._down_since = self.sim.now
+        self.monitor.counter("crashes").increment(self.sim.now)
+        self.monitor.tally("jobs_evicted").record(evicted)
+        self.sim.schedule(self.stream.exponential(self.mttr), self._repair,
+                          label="machine_repair")
+
+    def _repair(self) -> None:
+        assert self._down_since is not None
+        self.downtime += self.sim.now - self._down_since
+        self._down_since = None
+        self.machine.repair()
+        self._arm_failure()
+
+    @property
+    def availability(self) -> float:
+        """Fraction of elapsed time the machine was up (1.0 before t>0)."""
+        t = self.sim.now
+        if t <= 0:
+            return 1.0
+        down = self.downtime
+        if self._down_since is not None:
+            down += t - self._down_since
+        return 1.0 - down / t

@@ -1,0 +1,167 @@
+"""Replica catalog and Grid information service.
+
+Two directory services every data grid assumes:
+
+* :class:`ReplicaCatalog` — logical file name → the sites holding a
+  physical copy, with best-replica selection by network cost.  OptorSim's
+  optimizers, ChicagoSim's dataset scheduler, and MONARC's replication
+  agent all consult it.
+* :class:`GridInformationService` — the resource-discovery side (GridSim's
+  GIS): which sites exist, their capacity, and their current load, for
+  schedulers that rank sites.
+
+Consistency rules are enforced (registering a replica at a site that does
+not hold the file's bytes is the catalog bug class; here registration and
+disk inventory are cross-checked when the catalog is bound to a grid).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.errors import CatalogError
+from ..hosts.site import Grid, Site
+from ..network.transfer import FileSpec
+
+__all__ = ["ReplicaCatalog", "GridInformationService"]
+
+
+class ReplicaCatalog:
+    """Logical file name → sites holding a replica.
+
+    When constructed with a :class:`Grid`, registrations are verified
+    against site disks (``strict=True``) so the catalog can never claim a
+    replica that is not physically present.
+    """
+
+    def __init__(self, grid: Optional[Grid] = None, strict: bool = True) -> None:
+        self.grid = grid
+        self.strict = strict and grid is not None
+        self._locations: dict[str, set[str]] = {}
+        self._specs: dict[str, FileSpec] = {}
+
+    # -- mutation -------------------------------------------------------------
+
+    def register(self, file: FileSpec, site: str) -> None:
+        """Record that *site* holds *file* (validated against its disk)."""
+        known = self._specs.get(file.name)
+        if known is not None and known.size != file.size:
+            raise CatalogError(
+                f"file {file.name!r} re-registered with different size "
+                f"({file.size} != {known.size})")
+        if self.strict:
+            s = self.grid.site(site)
+            if not s.has_file(file.name):
+                raise CatalogError(
+                    f"site {site!r} does not physically hold {file.name!r}")
+        self._specs[file.name] = file
+        self._locations.setdefault(file.name, set()).add(site)
+
+    def unregister(self, fname: str, site: str) -> None:
+        """Remove one replica record; the last record removes the file."""
+        sites = self._locations.get(fname)
+        if not sites or site not in sites:
+            raise CatalogError(f"no replica of {fname!r} registered at {site!r}")
+        sites.discard(site)
+        if not sites:
+            del self._locations[fname]
+            del self._specs[fname]
+
+    def ingest_site(self, site: Site) -> int:
+        """Bulk-register everything already on a site's disk."""
+        if site.disk is None:
+            return 0
+        n = 0
+        for f in site.disk.files:
+            self.register(f, site.name)
+            n += 1
+        return n
+
+    # -- queries ------------------------------------------------------------------
+
+    def spec(self, fname: str) -> FileSpec:
+        """The file's :class:`FileSpec` (CatalogError if unknown)."""
+        try:
+            return self._specs[fname]
+        except KeyError:
+            raise CatalogError(f"unknown file {fname!r}") from None
+
+    def locations(self, fname: str) -> list[str]:
+        """Sites holding the file, sorted for determinism."""
+        return sorted(self._locations.get(fname, ()))
+
+    def has(self, fname: str) -> bool:
+        """True when at least one replica is registered."""
+        return fname in self._locations
+
+    def replica_count(self, fname: str) -> int:
+        """Number of registered replicas (0 if unknown)."""
+        return len(self._locations.get(fname, ()))
+
+    @property
+    def files(self) -> list[str]:
+        """All known logical file names, sorted."""
+        return sorted(self._locations)
+
+    def best_replica(self, fname: str, dst: str) -> str:
+        """The cheapest source site to fetch *fname* to *dst* from.
+
+        Cost = size/bottleneck_bandwidth + path latency, computed on the
+        grid topology; a replica already at *dst* costs zero.  Without a
+        bound grid, the lexicographically first location is returned.
+        """
+        sites = self.locations(fname)
+        if not sites:
+            raise CatalogError(f"no replica of {fname!r} anywhere")
+        if dst in sites:
+            return dst
+        if self.grid is None:
+            return sites[0]
+        size = self.spec(fname).size
+        topo = self.grid.topology
+
+        def cost(src: str) -> tuple[float, str]:
+            bw = topo.bottleneck_bandwidth(src, dst)
+            return (size / bw + topo.path_latency(src, dst), src)
+
+        return min(sites, key=cost)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        reps = sum(len(s) for s in self._locations.values())
+        return f"<ReplicaCatalog files={len(self._locations)} replicas={reps}>"
+
+
+class GridInformationService:
+    """Site discovery + load queries (the GIS every broker consults)."""
+
+    def __init__(self, grid: Grid) -> None:
+        self.grid = grid
+
+    def compute_sites(self) -> list[Site]:
+        """Sites with at least one machine, sorted by name."""
+        return [self.grid.sites[n] for n in self.grid.site_names
+                if self.grid.sites[n].machines]
+
+    def total_pes(self) -> int:
+        """PEs summed over all compute sites."""
+        return sum(s.total_pes for s in self.compute_sites())
+
+    def least_loaded_site(self) -> Site:
+        """Fewest (running+queued) jobs per PE; ties broken by name."""
+        sites = self.compute_sites()
+        if not sites:
+            raise CatalogError("no compute sites registered")
+        return min(sites, key=lambda s: (
+            (s.running_jobs + s.queued_jobs) / max(s.total_pes, 1), s.name))
+
+    def fastest_site(self) -> Site:
+        """The site with the highest aggregate MIPS."""
+        sites = self.compute_sites()
+        if not sites:
+            raise CatalogError("no compute sites registered")
+        return max(sites, key=lambda s: (s.total_mips, s.name))
+
+    def site_load(self, name: str) -> float:
+        """Jobs per PE at one site (the load-aware scheduler's metric)."""
+        s = self.grid.site(name)
+        return (s.running_jobs + s.queued_jobs) / max(s.total_pes, 1)

@@ -1,0 +1,312 @@
+"""Data replication strategies: pull (OptorSim), push (ChicagoSim), agent (MONARC).
+
+The paper contrasts three replication philosophies among the surveyed
+simulators:
+
+* OptorSim investigates "the stability and transient behavior of replication
+  optimization methods" with **pull** strategies — a site decides, at the
+  moment it fetches a remote file, whether to keep a local replica and what
+  to evict;
+* ChicagoSim "allows for data replication but with a **push** model in
+  which, when a site contains a popular data file, it will replicate it to
+  remote sites";
+* MONARC's LHC study showed "the role of using a **data replication agent**
+  for the intelligent transferring of the produced data" from T0 to the T1
+  centres.
+
+All strategies keep the replica catalog consistent: every stored replica is
+registered, every eviction unregistered, and the *last* copy of a file is
+never evicted (the data-loss guard OptorSim's economics implicitly rely on).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable, Optional
+
+from ..core.engine import Simulator
+from ..core.errors import ConfigurationError
+from ..core.monitor import Monitor
+from ..hosts.site import Grid
+from ..network.transfer import FileSpec
+from .catalog import ReplicaCatalog
+
+__all__ = [
+    "ReplicationStrategy",
+    "NoReplication",
+    "LruReplication",
+    "LfuReplication",
+    "EconomicReplication",
+    "PushReplication",
+    "DataReplicationAgent",
+]
+
+
+class ReplicationStrategy:
+    """Base class: hooks the job runners call.
+
+    ``on_access``  — every logical input read (hit or miss) at a site.
+    ``on_fetch``   — a remote fetch just completed ``src -> dst``; the
+    strategy decides whether *dst* keeps a replica.
+    """
+
+    name = "abstract"
+
+    def __init__(self, sim: Simulator, grid: Grid, catalog: ReplicaCatalog,
+                 protected: Iterable[str] = ()) -> None:
+        self.sim = sim
+        self.grid = grid
+        self.catalog = catalog
+        self.protected = set(protected)
+        self.monitor = Monitor(f"replication-{self.name}")
+        self.replicas_created = 0
+        self.replicas_evicted = 0
+
+    def on_access(self, fname: str, site: str) -> None:
+        """Default: no bookkeeping."""
+
+    def on_fetch(self, file: FileSpec, src: str, dst: str) -> None:
+        """Default: do nothing (stream-only)."""
+
+    # -- shared machinery ---------------------------------------------------------
+
+    def _evictable(self, site_name: str, incoming: FileSpec) -> list[str]:
+        """Files at *site_name* that may be evicted for *incoming*."""
+        disk = self.grid.site(site_name).disk
+        out = []
+        for f in disk.files:
+            if f.name == incoming.name:
+                continue
+            if self.catalog.has(f.name) and self.catalog.replica_count(f.name) <= 1:
+                continue  # never delete the last copy
+            out.append(f.name)
+        return out
+
+    def _store_replica(self, file: FileSpec, dst: str, key) -> bool:
+        """Store *file* at *dst*, evicting by ``key(fname) -> sort key``.
+
+        Returns False (and stores nothing) when the site is protected,
+        diskless, the file can never fit, or eviction is vetoed by *key*
+        returning ``None`` for every candidate.
+        """
+        if dst in self.protected:
+            return False
+        site = self.grid.site(dst)
+        disk = site.disk
+        if disk is None or file.size > disk.capacity or disk.has(file.name):
+            return False
+        while disk.free < file.size:
+            candidates = [(key(n), n) for n in self._evictable(dst, file)]
+            candidates = [(k, n) for k, n in candidates if k is not None]
+            if not candidates:
+                return False
+            _, victim = min(candidates)
+            disk.delete(victim)
+            if self.catalog.has(victim):
+                self.catalog.unregister(victim, dst)
+            self.replicas_evicted += 1
+            self.monitor.counter("evictions").increment(self.sim.now)
+        disk.store(file)
+        self.catalog.register(file, dst)
+        self.replicas_created += 1
+        self.monitor.counter("replications").increment(self.sim.now)
+        return True
+
+
+class NoReplication(ReplicationStrategy):
+    """Stream remote reads; never keep a copy.  The paper's baseline."""
+
+    name = "none"
+
+
+class LruReplication(ReplicationStrategy):
+    """Always replicate; evict the least-recently-used replica."""
+
+    name = "lru"
+
+    def on_fetch(self, file: FileSpec, src: str, dst: str) -> None:
+        disk = self.grid.site(dst).disk
+        self._store_replica(
+            file, dst,
+            key=lambda n: (disk._last_access.get(n, 0.0), n))  # noqa: SLF001
+
+
+class LfuReplication(ReplicationStrategy):
+    """Always replicate; evict the least-frequently-used replica."""
+
+    name = "lfu"
+
+    def on_fetch(self, file: FileSpec, src: str, dst: str) -> None:
+        disk = self.grid.site(dst).disk
+        self._store_replica(
+            file, dst,
+            key=lambda n: (disk.access_count(n), disk._last_access.get(n, 0.0), n))  # noqa: SLF001
+
+
+class EconomicReplication(ReplicationStrategy):
+    """OptorSim's economic model, simplified: replicate only when the new
+    file's predicted value exceeds the victim's.
+
+    Value of a file at a site = number of accesses in the trailing
+    ``window`` of simulated time (the binomial-prediction surrogate: recent
+    popularity predicts near-future demand).  Eviction of a victim worth
+    more than the incoming file is vetoed — which is exactly how the
+    economic optimizer stabilizes replica placement where LRU/LFU churn.
+    """
+
+    name = "economic"
+
+    def __init__(self, sim: Simulator, grid: Grid, catalog: ReplicaCatalog,
+                 protected: Iterable[str] = (), window: float = 500.0) -> None:
+        super().__init__(sim, grid, catalog, protected)
+        if window <= 0:
+            raise ConfigurationError("window must be > 0")
+        self.window = float(window)
+        self._events: dict[str, deque[tuple[float, str]]] = {}
+
+    def on_access(self, fname: str, site: str) -> None:
+        q = self._events.setdefault(site, deque())
+        q.append((self.sim.now, fname))
+        cutoff = self.sim.now - self.window
+        while q and q[0][0] < cutoff:
+            q.popleft()
+
+    def value(self, fname: str, site: str) -> int:
+        """Accesses to *fname* at *site* within the trailing window."""
+        cutoff = self.sim.now - self.window
+        return sum(1 for t, n in self._events.get(site, ())
+                   if n == fname and t >= cutoff)
+
+    def on_fetch(self, file: FileSpec, src: str, dst: str) -> None:
+        new_value = self.value(file.name, dst)
+
+        def key(victim: str):
+            v = self.value(victim, dst)
+            if v >= new_value and new_value > 0:
+                return None  # veto: victim is worth at least as much
+            if new_value == 0 and v > 0:
+                return None
+            return (v, victim)
+
+        self._store_replica(file, dst, key=key)
+
+
+class PushReplication(ReplicationStrategy):
+    """ChicagoSim's push model: popular files propagate from their holder.
+
+    Remote fetches of a file *from* a site are counted; when a file's
+    popularity crosses ``threshold``, the holder pushes copies to the
+    ``fanout`` sites with compute that do not yet hold it (closest first by
+    network cost).  Pushed copies are stored with LRU eviction at the
+    receiver.
+    """
+
+    name = "push"
+
+    def __init__(self, sim: Simulator, grid: Grid, catalog: ReplicaCatalog,
+                 protected: Iterable[str] = (), threshold: int = 3,
+                 fanout: int = 2) -> None:
+        super().__init__(sim, grid, catalog, protected)
+        if threshold < 1 or fanout < 1:
+            raise ConfigurationError("threshold and fanout must be >= 1")
+        self.threshold = threshold
+        self.fanout = fanout
+        self._remote_reads: dict[str, int] = {}
+        self._pushed: set[str] = set()
+        self.pushes = 0
+
+    def on_fetch(self, file: FileSpec, src: str, dst: str) -> None:
+        n = self._remote_reads.get(file.name, 0) + 1
+        self._remote_reads[file.name] = n
+        if n < self.threshold or file.name in self._pushed:
+            return
+        self._pushed.add(file.name)
+        targets = self._push_targets(file)
+        for t in targets:
+            ticket = self.grid.transfers.fetch(file, src, t)
+            ticket._subscribe(lambda _t, f=file, d=t: self._push_arrived(f, d))
+
+    def _push_targets(self, file: FileSpec) -> list[str]:
+        holders = set(self.catalog.locations(file.name)) if self.catalog.has(file.name) else set()
+        candidates = [s.name for s in self.grid.sites.values()
+                      if s.machines and s.disk is not None
+                      and s.name not in holders and not s.has_file(file.name)]
+        if not holders:
+            return sorted(candidates)[: self.fanout]
+        src = sorted(holders)[0]
+        topo = self.grid.topology
+        candidates.sort(key=lambda c: (file.size / topo.bottleneck_bandwidth(src, c)
+                                       + topo.path_latency(src, c), c))
+        return candidates[: self.fanout]
+
+    def _push_arrived(self, file: FileSpec, dst: str) -> None:
+        disk = self.grid.site(dst).disk
+        stored = self._store_replica(
+            file, dst,
+            key=lambda n: (disk._last_access.get(n, 0.0), n))  # noqa: SLF001
+        if stored:
+            self.pushes += 1
+
+
+class DataReplicationAgent:
+    """MONARC's agent: streams newly produced data from a source tier down.
+
+    Subscribed to a producer site (T0), the agent batches announced files
+    and ships one copy to each target (the T1 centres) as transfer slots
+    allow, keeping a bounded number of transfers in flight per target.  The
+    Legrand 2005 study's conclusion — that intelligent agent-driven
+    transfer smooths the burst load a plain fetch-on-demand pattern creates
+    — is reproduced in benchmark E5 by toggling this agent.
+    """
+
+    def __init__(self, sim: Simulator, grid: Grid, catalog: ReplicaCatalog,
+                 source: str, targets: Iterable[str],
+                 max_in_flight: int = 4) -> None:
+        if max_in_flight < 1:
+            raise ConfigurationError("max_in_flight must be >= 1")
+        self.sim = sim
+        self.grid = grid
+        self.catalog = catalog
+        self.source = source
+        self.targets = sorted(targets)
+        if not self.targets:
+            raise ConfigurationError("agent needs at least one target")
+        self.max_in_flight = max_in_flight
+        self._queues: dict[str, deque[FileSpec]] = {t: deque() for t in self.targets}
+        self._in_flight: dict[str, int] = {t: 0 for t in self.targets}
+        self.monitor = Monitor("replication-agent")
+        self.shipped = 0
+
+    def announce(self, file: FileSpec) -> None:
+        """A new file exists at the source; queue it for every target."""
+        for t in self.targets:
+            self._queues[t].append(file)
+            self._pump(t)
+
+    def backlog(self, target: str) -> int:
+        """Files queued (not yet in flight) for one target."""
+        return len(self._queues[target])
+
+    @property
+    def total_backlog(self) -> int:
+        """Queued files summed over all targets."""
+        return sum(len(q) for q in self._queues.values())
+
+    def _pump(self, target: str) -> None:
+        while self._in_flight[target] < self.max_in_flight and self._queues[target]:
+            file = self._queues[target].popleft()
+            self._in_flight[target] += 1
+            ticket = self.grid.transfers.fetch(file, self.source, target)
+            ticket._subscribe(lambda _t, f=file, tgt=target: self._arrived(f, tgt))
+
+    def _arrived(self, file: FileSpec, target: str) -> None:
+        self._in_flight[target] -= 1
+        disk = self.grid.site(target).disk
+        if disk is not None and not disk.has(file.name):
+            if disk.free >= file.size:
+                disk.store(file)
+                self.catalog.register(file, target)
+        self.shipped += 1
+        self.monitor.counter("files_shipped").increment(self.sim.now)
+        self.monitor.tally("ship_bytes").record(file.size)
+        self._pump(target)

@@ -1,0 +1,47 @@
+"""Network substrate: topologies, flow & packet models, protocols, transfers.
+
+Two granularities behind one transport interface (the taxonomy's network
+*granularity* axis): :class:`FlowNetwork` (fast, end-to-end max-min fair)
+and :class:`PacketNetwork` (slow, per-packet store-and-forward).  Protocol
+wrappers (:class:`TcpTransport`, :class:`UdpTransport`,
+:class:`ReliablePacketTransport`) and the queued
+:class:`FileTransferService` sit on top.
+"""
+
+from .flow import FlowHandle, FlowNetwork
+from .packet import Packet, PacketNetwork, PacketTransfer
+from .protocols import ReliablePacketTransport, TcpTransport, UdpTransport
+from .topology import (
+    GBPS,
+    MBPS,
+    LinkSpec,
+    Topology,
+    dumbbell,
+    eu_datagrid,
+    ring,
+    star,
+    tier_tree,
+)
+from .transfer import FileSpec, FileTransferService
+
+__all__ = [
+    "GBPS",
+    "MBPS",
+    "LinkSpec",
+    "Topology",
+    "star",
+    "ring",
+    "dumbbell",
+    "tier_tree",
+    "eu_datagrid",
+    "FlowNetwork",
+    "FlowHandle",
+    "PacketNetwork",
+    "Packet",
+    "PacketTransfer",
+    "TcpTransport",
+    "UdpTransport",
+    "ReliablePacketTransport",
+    "FileSpec",
+    "FileTransferService",
+]

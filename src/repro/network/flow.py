@@ -1,0 +1,235 @@
+"""Flow-level network model with max-min fair bandwidth sharing.
+
+Taxonomy *granularity of the simulation*: "the simulation of the network can
+model in detail the flow of each packet through the network, a time
+consuming operation that leads to better output results, or it can model
+only the flows of packets going from one end to another."  This module is
+the fast end-to-end option — the granularity SimGrid and OptorSim chose.
+
+Model
+-----
+Each active transfer is a *flow* with a fixed route and a remaining byte
+count.  At any instant, link capacity is divided among crossing flows by
+**max-min fairness** computed with the classic progressive-filling
+algorithm: repeatedly find the most-constrained link (smallest fair share
+``free_capacity / unfrozen_flows``), freeze its flows at that share, remove
+the consumed capacity, and continue.  Whenever a flow starts or finishes
+the allocation is recomputed and every affected completion event is
+rescheduled — an O(F·L) update that is the model's classic cost/accuracy
+trade-off.
+
+A flow's data starts moving after the route's propagation latency; the
+returned :class:`FlowHandle` completes when the last byte arrives.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from ..core.engine import Simulator
+from ..core.errors import ConfigurationError
+from ..core.events import Event
+from ..core.monitor import Monitor
+from ..core.process import Waitable
+from .topology import LinkSpec, Topology
+
+__all__ = ["FlowHandle", "FlowNetwork"]
+
+
+class FlowHandle(Waitable):
+    """One end-to-end transfer in flight.  Completes with the handle itself."""
+
+    _counter = 0
+
+    def __init__(self, src: str, dst: str, size: float, started: float,
+                 rate_cap: float = math.inf) -> None:
+        super().__init__()
+        FlowHandle._counter += 1
+        self.id = FlowHandle._counter
+        self.src = src
+        self.dst = dst
+        self.size = float(size)
+        self.started = started
+        self.finished: Optional[float] = None
+        self.remaining = float(size)
+        self.rate = 0.0
+        self.rate_cap = float(rate_cap)
+        self.links: list[LinkSpec] = []
+        self._completion: Optional[Event] = None
+        self._last_update = started
+
+    @property
+    def duration(self) -> float:
+        """Transfer time (NaN while in flight)."""
+        return (self.finished - self.started) if self.finished is not None else float("nan")
+
+    @property
+    def throughput(self) -> float:
+        """Achieved end-to-end throughput (bytes/s; NaN while in flight)."""
+        d = self.duration
+        return self.size / d if d and not math.isnan(d) and d > 0 else float("nan")
+
+    def __repr__(self) -> str:  # pragma: no cover
+        state = "done" if self.finished is not None else f"{self.remaining:.3g}B left"
+        return f"<Flow #{self.id} {self.src}->{self.dst} {state}>"
+
+
+class FlowNetwork:
+    """Event-driven max-min fair flow network over a :class:`Topology`.
+
+    Parameters
+    ----------
+    sim, topology:
+        The owning simulator and the link graph.
+    efficiency:
+        Fraction of nominal link capacity actually usable (protocol
+        overhead); 0.92 by default, mirroring SimGrid's TCP correction.
+    """
+
+    def __init__(self, sim: Simulator, topology: Topology,
+                 efficiency: float = 0.92) -> None:
+        if not 0 < efficiency <= 1:
+            raise ConfigurationError(f"efficiency must be in (0,1], got {efficiency}")
+        self.sim = sim
+        self.topology = topology
+        self.efficiency = efficiency
+        self._active: list[FlowHandle] = []
+        self.monitor = Monitor("flow-network")
+        self._active_level = self.monitor.level("active_flows", start_time=sim.now)
+        self.completed = 0
+
+    # -- public API ---------------------------------------------------------------
+
+    def transfer(self, src: str, dst: str, size: float,
+                 rate_cap: float = math.inf) -> FlowHandle:
+        """Start moving *size* bytes from *src* to *dst*.
+
+        Returns a :class:`FlowHandle` to ``yield`` on (process style) or to
+        subscribe to.  ``rate_cap`` bounds the flow's share (used by the
+        TCP-window protocol layer).  Zero-byte transfers complete after the
+        path latency alone.
+        """
+        if size < 0:
+            raise ConfigurationError(f"transfer size must be >= 0, got {size}")
+        handle = FlowHandle(src, dst, size, self.sim.now, rate_cap=rate_cap)
+        handle.links = self.topology.route_links(src, dst)
+        latency = self.topology.path_latency(src, dst)
+        if size == 0 or not handle.links:
+            # Same-host copy or empty payload: latency-only.
+            self.sim.schedule(latency, self._finish, handle, label="flow_done")
+            return handle
+        self.sim.schedule(latency, self._admit, handle, label="flow_start")
+        return handle
+
+    @property
+    def active_flows(self) -> int:
+        """Number of transfers currently in flight."""
+        return len(self._active)
+
+    def link_utilization(self, spec: LinkSpec) -> float:
+        """Instantaneous utilization of one link by active flows."""
+        used = sum(f.rate for f in self._active if spec in f.links)
+        return used / (spec.bandwidth * self.efficiency)
+
+    # -- internals ------------------------------------------------------------------
+
+    def _admit(self, handle: FlowHandle) -> None:
+        handle._last_update = self.sim.now
+        self._active.append(handle)
+        self._active_level.set(self.sim.now, len(self._active))
+        self._reallocate()
+
+    def _finish(self, handle: FlowHandle) -> None:
+        handle.remaining = 0.0
+        handle.rate = 0.0
+        handle.finished = self.sim.now
+        if handle in self._active:
+            self._active.remove(handle)
+            self._active_level.set(self.sim.now, len(self._active))
+        self.completed += 1
+        self.monitor.tally("transfer_time").record(handle.duration)
+        self.monitor.tally("throughput").record(handle.throughput)
+        handle._complete(handle)
+        self._reallocate()
+
+    def _settle(self, handle: FlowHandle) -> None:
+        """Account bytes moved at the current rate since the last update."""
+        dt = self.sim.now - handle._last_update
+        if dt > 0:
+            handle.remaining = max(0.0, handle.remaining - handle.rate * dt)
+        handle._last_update = self.sim.now
+
+    def _reallocate(self) -> None:
+        """Recompute max-min shares and reschedule completion events."""
+        for f in self._active:
+            self._settle(f)
+        rates = self._max_min_rates()
+        for f in self._active:
+            new_rate = rates[f.id]
+            f.rate = new_rate
+            if f._completion is not None:
+                f._completion.cancel()
+                f._completion = None
+            if new_rate > 0:
+                eta = f.remaining / new_rate
+                f._completion = self.sim.schedule(
+                    eta, self._finish, f, label="flow_done")
+            # rate == 0 can only happen transiently with rate caps of 0;
+            # such flows sit idle until a reallocation frees capacity.
+
+    def _max_min_rates(self) -> dict[int, float]:
+        """Progressive filling over the currently active flows."""
+        if not self._active:
+            return {}
+        free: dict[LinkSpec, float] = {}
+        crossing: dict[LinkSpec, list[FlowHandle]] = {}
+        for f in self._active:
+            for link in f.links:
+                if link not in free:
+                    free[link] = link.bandwidth * self.efficiency
+                    crossing[link] = []
+                crossing[link].append(f)
+        rates: dict[int, float] = {}
+        unfrozen = set(f.id for f in self._active)
+        # Flows capped below their fair share freeze at the cap first.
+        flows_by_id = {f.id: f for f in self._active}
+        while unfrozen:
+            # Fair share each link could offer its unfrozen flows; track the
+            # single most-constrained link (the iteration's bottleneck).
+            best_share = math.inf
+            best_link: Optional[LinkSpec] = None
+            for link, flows in crossing.items():
+                n_live = sum(1 for f in flows if f.id in unfrozen)
+                if n_live == 0:
+                    continue
+                share = free[link] / n_live
+                if share < best_share:
+                    best_share = share
+                    best_link = link
+            if best_link is None:
+                # Remaining flows cross no constrained link (can only happen
+                # with rate caps); give them their caps.
+                for fid in unfrozen:
+                    rates[fid] = flows_by_id[fid].rate_cap
+                break
+            # Flows capped below the bottleneck share freeze at their cap
+            # first — they consume less than a fair share everywhere.
+            capped = [fid for fid in unfrozen
+                      if flows_by_id[fid].rate_cap < best_share]
+            if capped:
+                for fid in capped:
+                    rate = flows_by_id[fid].rate_cap
+                    rates[fid] = rate
+                    unfrozen.discard(fid)
+                    for link in flows_by_id[fid].links:
+                        free[link] = max(0.0, free[link] - rate)
+                continue
+            # Freeze exactly the bottleneck link's flows at its fair share.
+            for f in crossing[best_link]:
+                if f.id in unfrozen:
+                    rates[f.id] = best_share
+                    unfrozen.discard(f.id)
+                    for link in f.links:
+                        free[link] = max(0.0, free[link] - best_share)
+        return rates

@@ -1,0 +1,248 @@
+"""Network topology: nodes, links, routing.
+
+Taxonomy *network characteristics*: "the network elements interconnecting
+hosts within simulated distributed environments — routers, switches and
+other devices".  A :class:`Topology` is a directed multigraph of named nodes
+joined by :class:`LinkSpec` edges (bandwidth + latency), with shortest-path
+routing (networkx) cached per source.
+
+Factory helpers build the standard shapes the surveyed simulators assume:
+a star (Bricks' central model), a tier tree (MONARC's T0/T1/T2), a dumbbell
+(bottleneck studies), a ring, and an EU-DataGrid-like mesh (OptorSim).
+Bandwidths are in **bytes per simulated second**, latencies in seconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import networkx as nx
+
+from ..core.errors import ConfigurationError, RoutingError, TopologyError
+
+__all__ = [
+    "GBPS",
+    "MBPS",
+    "LinkSpec",
+    "Topology",
+    "star",
+    "ring",
+    "dumbbell",
+    "tier_tree",
+    "eu_datagrid",
+]
+
+#: 1 gigabit/s expressed in bytes/s — convenient for link definitions.
+GBPS = 1e9 / 8
+MBPS = 1e6 / 8
+
+
+@dataclass(frozen=True, slots=True)
+class LinkSpec:
+    """One directed link: capacity in bytes/s, propagation latency in s."""
+
+    src: str
+    dst: str
+    bandwidth: float
+    latency: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.bandwidth <= 0:
+            raise ConfigurationError(
+                f"link {self.src}->{self.dst}: bandwidth must be > 0")
+        if self.latency < 0:
+            raise ConfigurationError(
+                f"link {self.src}->{self.dst}: latency must be >= 0")
+
+
+class Topology:
+    """Named nodes + directed capacity/latency links + shortest-path routes.
+
+    Routes minimize total latency (with hop count as tiebreak via a tiny
+    per-hop epsilon); they are computed lazily per source and invalidated
+    on mutation.
+    """
+
+    _HOP_EPS = 1e-9
+
+    def __init__(self) -> None:
+        self._g = nx.DiGraph()
+        self._route_cache: dict[str, dict[str, list[str]]] = {}
+
+    # -- construction ----------------------------------------------------------
+
+    def add_node(self, name: str, **attrs) -> None:
+        """Add a node; re-adding an existing node updates its attributes."""
+        self._g.add_node(name, **attrs)
+        self._route_cache.clear()
+
+    def add_link(self, src: str, dst: str, bandwidth: float,
+                 latency: float = 0.0, symmetric: bool = True) -> None:
+        """Add a link (both directions when *symmetric*); creates endpoints."""
+        spec = LinkSpec(src, dst, bandwidth, latency)  # validates
+        self._g.add_edge(src, dst, spec=spec)
+        if symmetric:
+            self._g.add_edge(dst, src, spec=LinkSpec(dst, src, bandwidth, latency))
+        self._route_cache.clear()
+
+    # -- queries ------------------------------------------------------------------
+
+    @property
+    def nodes(self) -> list[str]:
+        """All node names."""
+        return list(self._g.nodes)
+
+    @property
+    def links(self) -> list[LinkSpec]:
+        """All directed :class:`LinkSpec` edges."""
+        return [data["spec"] for _, _, data in self._g.edges(data=True)]
+
+    def has_node(self, name: str) -> bool:
+        """True when *name* exists in the graph."""
+        return self._g.has_node(name)
+
+    def link(self, src: str, dst: str) -> LinkSpec:
+        """The direct link ``src -> dst``; raises if absent."""
+        try:
+            return self._g.edges[src, dst]["spec"]
+        except KeyError:
+            raise TopologyError(f"no direct link {src} -> {dst}") from None
+
+    def degree(self, name: str) -> int:
+        """Outgoing link count of a node."""
+        if not self._g.has_node(name):
+            raise TopologyError(f"unknown node {name!r}")
+        return self._g.out_degree(name)
+
+    # -- routing ------------------------------------------------------------------
+
+    def route(self, src: str, dst: str) -> list[str]:
+        """Node sequence ``[src, ..., dst]`` minimizing latency (+hop eps)."""
+        for n in (src, dst):
+            if not self._g.has_node(n):
+                raise TopologyError(f"unknown node {n!r}")
+        if src == dst:
+            return [src]
+        per_src = self._route_cache.get(src)
+        if per_src is None:
+            per_src = nx.single_source_dijkstra_path(
+                self._g, src,
+                weight=lambda u, v, d: d["spec"].latency + self._HOP_EPS)
+            self._route_cache[src] = per_src
+        try:
+            return per_src[dst]
+        except KeyError:
+            raise RoutingError(f"no route {src} -> {dst}") from None
+
+    def route_links(self, src: str, dst: str) -> list[LinkSpec]:
+        """The link sequence along :meth:`route` (empty when src == dst)."""
+        path = self.route(src, dst)
+        return [self._g.edges[a, b]["spec"] for a, b in zip(path, path[1:])]
+
+    def path_latency(self, src: str, dst: str) -> float:
+        """Total propagation latency along the route."""
+        return sum(link.latency for link in self.route_links(src, dst))
+
+    def bottleneck_bandwidth(self, src: str, dst: str) -> float:
+        """Minimum link capacity along the route (inf for src == dst)."""
+        links = self.route_links(src, dst)
+        return min((l.bandwidth for l in links), default=float("inf"))
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<Topology nodes={self._g.number_of_nodes()} links={self._g.number_of_edges()}>"
+
+
+# -- canonical shapes --------------------------------------------------------------
+
+
+def star(center: str, leaves: Sequence[str], bandwidth: float,
+         latency: float = 0.01) -> Topology:
+    """Bricks-style central model: every leaf talks through *center*."""
+    if not leaves:
+        raise ConfigurationError("star needs at least one leaf")
+    topo = Topology()
+    topo.add_node(center, kind="hub")
+    for leaf in leaves:
+        topo.add_node(leaf, kind="leaf")
+        topo.add_link(leaf, center, bandwidth, latency)
+    return topo
+
+
+def ring(names: Sequence[str], bandwidth: float, latency: float = 0.01) -> Topology:
+    """A bidirectional ring."""
+    if len(names) < 3:
+        raise ConfigurationError("ring needs at least three nodes")
+    topo = Topology()
+    for n in names:
+        topo.add_node(n)
+    for a, b in zip(names, list(names[1:]) + [names[0]]):
+        topo.add_link(a, b, bandwidth, latency)
+    return topo
+
+
+def dumbbell(left: Sequence[str], right: Sequence[str], access_bw: float,
+             bottleneck_bw: float, latency: float = 0.005) -> Topology:
+    """Two clusters joined by one bottleneck link — congestion's fruit-fly."""
+    if not left or not right:
+        raise ConfigurationError("dumbbell needs nodes on both sides")
+    topo = Topology()
+    topo.add_node("Lhub", kind="router")
+    topo.add_node("Rhub", kind="router")
+    topo.add_link("Lhub", "Rhub", bottleneck_bw, latency)
+    for n in left:
+        topo.add_node(n)
+        topo.add_link(n, "Lhub", access_bw, latency)
+    for n in right:
+        topo.add_node(n)
+        topo.add_link(n, "Rhub", access_bw, latency)
+    return topo
+
+
+def tier_tree(tier_sizes: Sequence[int], bandwidths: Sequence[float],
+              latency: float = 0.01, root: str = "T0") -> Topology:
+    """MONARC-style tier model: T0 at the root, T1 children, T2 below...
+
+    ``tier_sizes[k]`` is the number of tier-(k+1) centres *per* tier-k parent;
+    ``bandwidths[k]`` is the capacity of tier-k -> tier-(k+1) links.
+    Node names: ``T0``, ``T1.0``, ``T1.1``, ``T2.0.0`` ...
+    """
+    if len(tier_sizes) != len(bandwidths):
+        raise ConfigurationError("tier_sizes and bandwidths must align")
+    topo = Topology()
+    topo.add_node(root, tier=0)
+    parents: list[tuple[str, tuple[int, ...]]] = [(root, ())]
+    for level, (fanout, bw) in enumerate(zip(tier_sizes, bandwidths), start=1):
+        children: list[tuple[str, tuple[int, ...]]] = []
+        for parent_name, path in parents:
+            for c in range(fanout):
+                cpath = path + (c,)
+                name = f"T{level}." + ".".join(map(str, cpath))
+                topo.add_node(name, tier=level)
+                topo.add_link(parent_name, name, bw, latency)
+                children.append((name, cpath))
+        parents = children
+    return topo
+
+
+def eu_datagrid(site_names: Iterable[str] | None = None,
+                wan_bandwidth: float = 2.5 * GBPS,
+                lan_bandwidth: float = 10 * GBPS,
+                latency: float = 0.02) -> Topology:
+    """OptorSim's simplified EU DataGrid: sites on a shared WAN backbone.
+
+    Each site has a LAN access link onto a backbone router; CERN is the
+    default data source with a fatter access pipe.
+    """
+    names = list(site_names) if site_names is not None else [
+        "CERN", "RAL", "IN2P3", "CNAF", "NIKHEF", "FZK", "PIC", "NDGF",
+    ]
+    if not names:
+        raise ConfigurationError("eu_datagrid needs at least one site")
+    topo = Topology()
+    topo.add_node("WAN", kind="backbone")
+    for i, site in enumerate(names):
+        topo.add_node(site, kind="site")
+        bw = lan_bandwidth if i == 0 else wan_bandwidth
+        topo.add_link(site, "WAN", bw, latency)
+    return topo

@@ -1,0 +1,20 @@
+"""P2P substrate: overlays (structured + unstructured) and churn.
+
+Fills the taxonomy's P2P corner of the *systems modeled* axis: a
+Chord-style identifier ring with O(log N) finger routing, a Gnutella-style
+random graph with flooding / random-walk search, and a heavy-tailed churn
+process that drives either.  Benchmark E13 contrasts the two search
+disciplines' hop and message costs — the P2P analogue of the paper's
+parameter-space-exploration conclusion.
+"""
+
+from .churn import ChurnProcess
+from .overlay import ChordRing, LookupResult, UnstructuredOverlay, node_id
+
+__all__ = [
+    "ChordRing",
+    "UnstructuredOverlay",
+    "LookupResult",
+    "node_id",
+    "ChurnProcess",
+]

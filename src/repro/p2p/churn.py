@@ -1,0 +1,122 @@
+"""Churn: the arrival/departure dynamics that define P2P workloads.
+
+What separates P2P simulation from Grid simulation (taxonomy *scope* axis)
+is membership volatility: peers join and leave continuously, and protocols
+are judged by how they behave *under* that motion.  :class:`ChurnProcess`
+drives any overlay exposing ``join(name)`` / ``leave(name)``:
+
+* session lengths are heavy-tailed by default (Pareto — the empirical
+  Gnutella/Kad finding) or exponential;
+* a target population is maintained: departures trigger compensating
+  arrivals after an exponential gap, so long runs neither drain nor
+  explode.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+from ..core.engine import Simulator
+from ..core.errors import ConfigurationError
+from ..core.monitor import Monitor
+from ..core.rng import Stream
+
+__all__ = ["OverlayLike", "ChurnProcess"]
+
+
+class OverlayLike(Protocol):
+    """Anything a churn process can drive."""
+
+    def join(self, name: str) -> object: ...  # pragma: no cover
+
+    def leave(self, name: str) -> bool: ...  # pragma: no cover
+
+
+class ChurnProcess:
+    """Maintains a churning population on an overlay.
+
+    Parameters
+    ----------
+    target_population:
+        Nodes to create initially and maintain on average.
+    mean_session:
+        Mean node lifetime between join and leave.
+    mean_rejoin_gap:
+        Mean delay between a departure and the compensating arrival.
+    session_model:
+        ``"pareto"`` (heavy-tailed, alpha=1.5 scaled to the mean) or
+        ``"exponential"``.
+    horizon:
+        Stop generating churn events after this time (keeps runs finite).
+    """
+
+    def __init__(self, sim: Simulator, overlay: OverlayLike, stream: Stream,
+                 target_population: int = 50, mean_session: float = 300.0,
+                 mean_rejoin_gap: float = 30.0, session_model: str = "pareto",
+                 horizon: float = 3_600.0) -> None:
+        if target_population < 1:
+            raise ConfigurationError("target_population must be >= 1")
+        if mean_session <= 0 or mean_rejoin_gap <= 0 or horizon <= 0:
+            raise ConfigurationError("times must be > 0")
+        if session_model not in ("pareto", "exponential"):
+            raise ConfigurationError(f"unknown session model {session_model!r}")
+        self.sim = sim
+        self.overlay = overlay
+        self.stream = stream
+        self.mean_session = mean_session
+        self.mean_rejoin_gap = mean_rejoin_gap
+        self.session_model = session_model
+        self.horizon = horizon
+        self.monitor = Monitor("churn")
+        self._seq = 0
+        self.alive: set[str] = set()
+        for _ in range(target_population):
+            self._spawn()
+
+    def _session_length(self) -> float:
+        if self.session_model == "exponential":
+            return self.stream.exponential(self.mean_session)
+        # Pareto(1.5) scaled so the mean matches: mean = a*xmin/(a-1)
+        alpha = 1.5
+        xmin = self.mean_session * (alpha - 1) / alpha
+        return self.stream.pareto(alpha, xmin=xmin)
+
+    def _spawn(self) -> str:
+        self._seq += 1
+        name = f"peer-{self._seq:05d}"
+        self.overlay.join(name)
+        self.alive.add(name)
+        self.monitor.counter("joins").increment(self.sim.now)
+        if self.sim.now < self.horizon:
+            self.sim.schedule(self._session_length(), self._depart, name,
+                              label="churn_leave")
+        return name
+
+    def _depart(self, name: str) -> None:
+        if name not in self.alive:
+            return
+        if self.sim.now >= self.horizon:
+            # churn is frozen past the horizon: keep the final population
+            # intact so post-churn measurements see a steady overlay
+            return
+        self.overlay.leave(name)
+        self.alive.discard(name)
+        self.monitor.counter("leaves").increment(self.sim.now)
+        if self.sim.now < self.horizon:
+            self.sim.schedule(self.stream.exponential(self.mean_rejoin_gap),
+                              self._replace, label="churn_join")
+
+    def _replace(self) -> None:
+        if self.sim.now < self.horizon:
+            self._spawn()
+
+    @property
+    def population(self) -> int:
+        """Currently live peers."""
+        return len(self.alive)
+
+    def random_member(self) -> str:
+        """A uniformly random live peer (for query origination)."""
+        if not self.alive:
+            raise ConfigurationError("population is empty")
+        return self.stream.choice(sorted(self.alive))

@@ -1,0 +1,44 @@
+"""The six surveyed simulators, rebuilt as models on the common kernel.
+
+Each module reproduces the design the paper attributes to the original
+instrument (see each module's docstring for the exact quoted description):
+
+=====================  ===========================================================
+module                 original & focus
+=====================  ===========================================================
+:mod:`.bricks`         Bricks — central model, scheduling with monitoring+prediction
+:mod:`.optorsim`       OptorSim — EU DataGrid, pull-replication optimizers
+:mod:`.simgrid`        SimGrid — agents/channels, compile-time vs runtime scheduling
+:mod:`.gridsim`        GridSim — computational economy, deadline/budget brokering
+:mod:`.chicagosim`     ChicagoSim — data-location scheduling, push replication
+:mod:`.monarc`         MONARC 2 — tier model, activities, data replication agent
+=====================  ===========================================================
+"""
+
+from .bricks import BRICKS_SCHEDULERS, BricksJob, BricksModel
+from .chicagosim import DATA_POLICIES, JOB_POLICIES, ChicagoSimModel
+from .gridsim import DEFAULT_RESOURCES, GridResourceSpec, GridSimModel
+from .monarc import MonarcModel, RegionalCentre, StudyResult
+from .optorsim import OPTIMIZERS, OptorJob, OptorSimModel
+from .simgrid import Agent, SGTask, SimGridModel
+
+__all__ = [
+    "BricksModel",
+    "BricksJob",
+    "BRICKS_SCHEDULERS",
+    "OptorSimModel",
+    "OptorJob",
+    "OPTIMIZERS",
+    "SimGridModel",
+    "Agent",
+    "SGTask",
+    "GridSimModel",
+    "GridResourceSpec",
+    "DEFAULT_RESOURCES",
+    "ChicagoSimModel",
+    "JOB_POLICIES",
+    "DATA_POLICIES",
+    "MonarcModel",
+    "RegionalCentre",
+    "StudyResult",
+]

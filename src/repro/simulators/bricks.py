@@ -1,0 +1,206 @@
+"""Bricks rebuilt: the central-model client/server scheduling simulator.
+
+Per the paper: "Bricks was among the first simulation projects developed to
+investigate different resource scheduling issues ... allows the simulation
+of various behaviors: resource scheduling algorithms, programming modules
+for scheduling, network topology of clients and servers in global computing
+systems, and processing schemes for networks and servers ... Bricks uses a
+model which the authors call the 'central model'.  In this simulation model
+it is assumed that all the jobs are processed at a single site."  Its later
+versions added disk/replica management; its scheduling unit monitors
+servers and networks and *predicts* their availability (NWS-style).
+
+:class:`BricksModel` composes: clients on a star topology generating jobs
+with input/output payloads; time-shared servers carrying random background
+load (the "global computing" environment); and a pluggable scheduling unit
+(random / round-robin / load-aware / predictive — benchmark E11's axis).
+The original's fixed component set is mirrored by ``runtime_components =
+False`` in the taxonomy record: this model's topology is fixed at
+construction, exactly the limitation the paper calls out for Bricks.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..core.engine import Simulator
+from ..core.errors import ConfigurationError
+from ..core.monitor import Monitor
+from ..core.process import Process
+from ..hosts.cpu import TimeSharedMachine
+from ..hosts.load import NetworkCrossTraffic, RandomBurstLoad
+from ..hosts.site import Grid, Site
+from ..network.topology import Topology
+from ..network.flow import FlowNetwork
+
+__all__ = ["BricksJob", "BricksModel", "BRICKS_SCHEDULERS"]
+
+BRICKS_SCHEDULERS = ("random", "round-robin", "load-aware", "predictive")
+
+
+@dataclass(slots=True)
+class BricksJob:
+    """A client request: ship input, compute, ship output back."""
+
+    id: int
+    client: str
+    length: float
+    input_bytes: float
+    output_bytes: float
+    created: float
+    server: str = ""
+    finished: float = math.nan
+
+    @property
+    def response_time(self) -> float:
+        """Client-observed time from creation to result arrival."""
+        return self.finished - self.created
+
+
+class BricksModel:
+    """The central model: clients → scheduling unit → servers.
+
+    Parameters
+    ----------
+    n_clients, n_servers:
+        Star leaves; all traffic crosses the hub (the "central" part).
+    scheduler:
+        One of :data:`BRICKS_SCHEDULERS`.
+    background:
+        If set, every server carries random burst load with this peak
+        (the monitored/predicted environment Bricks models).
+    """
+
+    def __init__(self, sim: Simulator, n_clients: int = 8, n_servers: int = 4,
+                 rating: float = 1000.0, pes: int = 4,
+                 bandwidth: float = 1e8, scheduler: str = "predictive",
+                 background: float | None = 0.6,
+                 network_background_bytes: float | None = None,
+                 job_rate: float = 1.0, mean_length: float = 2000.0,
+                 mean_input: float = 1e6, mean_output: float = 1e5) -> None:
+        if scheduler not in BRICKS_SCHEDULERS:
+            raise ConfigurationError(
+                f"unknown Bricks scheduler {scheduler!r}; "
+                f"choose from {BRICKS_SCHEDULERS}")
+        if n_clients < 1 or n_servers < 1:
+            raise ConfigurationError("need at least one client and one server")
+        self.sim = sim
+        self.scheduler = scheduler
+        self.job_rate = job_rate
+        self.mean_length = mean_length
+        self.mean_input = mean_input
+        self.mean_output = mean_output
+        self.clients = [f"client-{i}" for i in range(n_clients)]
+        self.servers = [f"server-{i}" for i in range(n_servers)]
+        topo = Topology()
+        topo.add_node("hub", kind="hub")
+        for n in self.clients + self.servers:
+            topo.add_link(n, "hub", bandwidth, 0.005)
+        sites = [Site(sim, c) for c in self.clients]
+        self.machines: dict[str, TimeSharedMachine] = {}
+        for s in self.servers:
+            m = TimeSharedMachine(sim, pes=pes, rating=rating, name=f"{s}-cpu")
+            self.machines[s] = m
+            sites.append(Site(sim, s, machines=[m]))
+        self.grid = Grid(sim, topo, sites)
+        self.network: FlowNetwork = self.grid.network
+        self.background = background
+        self.network_background_bytes = network_background_bytes
+        self.bg_injectors: list[RandomBurstLoad] = []
+        self.cross_traffic: NetworkCrossTraffic | None = None
+        self.monitor = Monitor("bricks")
+        self._rr = 0
+        self.completed: list[BricksJob] = []
+        self._job_seq = 0
+
+    # -- the scheduling unit -----------------------------------------------------
+
+    def pick_server(self, job: BricksJob) -> str:
+        """The Bricks scheduling unit: monitoring + optional prediction."""
+        if self.scheduler == "random":
+            return self.sim.stream("sched").choice(self.servers)
+        if self.scheduler == "round-robin":
+            s = self.servers[self._rr % len(self.servers)]
+            self._rr += 1
+            return s
+        if self.scheduler == "load-aware":
+            # ServerMonitor: current job count only (no speed correction)
+            return min(self.servers,
+                       key=lambda s: (self.machines[s].running, s))
+        # predictive: NWS-style — predicted completion given current load
+        # AND current background (the ServerPredictor + NetworkPredictor)
+        return min(self.servers, key=lambda s: (
+            self.machines[s].estimated_completion(job.length), s))
+
+    # -- workload -------------------------------------------------------------------
+
+    def start(self, horizon: float) -> None:
+        """Launch job sources (and background bursts) until *horizon*.
+
+        Background injectors get a 2x horizon so load keeps varying while
+        the tail of the workload drains, but the event chain stays finite
+        (an unbounded injector would keep ``run()`` from ever terminating).
+        """
+        if self.background is not None and not self.bg_injectors:
+            for s in self.servers:
+                self.bg_injectors.append(RandomBurstLoad(
+                    self.sim, self.machines[s], self.sim.stream(f"bg-{s}"),
+                    mean_gap=40.0, mean_burst=25.0, peak=self.background,
+                    horizon=2.0 * horizon))
+        if self.network_background_bytes is not None and self.cross_traffic is None:
+            # the "processing schemes for networks" half of Bricks' model:
+            # competing traffic the NetworkMonitor would be observing
+            self.cross_traffic = NetworkCrossTraffic(
+                self.sim, self.network, self.sim.stream("bricks-xt"),
+                endpoints=self.clients + self.servers,
+                mean_gap=5.0, mean_bytes=self.network_background_bytes,
+                horizon=2.0 * horizon)
+        for c in self.clients:
+            Process(self.sim, self._client_body, c, horizon,
+                    name=f"source-{c}")
+
+    def _client_body(self, client: str, horizon: float):
+        arr = self.sim.stream(f"arr-{client}")
+        work = self.sim.stream(f"work-{client}")
+        while self.sim.now < horizon:
+            yield arr.exponential(1.0 / self.job_rate)
+            if self.sim.now >= horizon:
+                return
+            self._job_seq += 1
+            job = BricksJob(
+                id=self._job_seq, client=client,
+                length=work.exponential(self.mean_length),
+                input_bytes=work.exponential(self.mean_input),
+                output_bytes=work.exponential(self.mean_output),
+                created=self.sim.now)
+            Process(self.sim, self._job_body, job, name=f"job-{job.id}")
+
+    def _job_body(self, job: BricksJob):
+        job.server = self.pick_server(job)
+        # ship input client -> server (crosses the hub)
+        if job.input_bytes > 0:
+            yield self.network.transfer(job.client, job.server, job.input_bytes)
+        # process on the (possibly loaded) time-shared server
+        run = self.machines[job.server].submit(job)
+        yield run
+        # ship result back
+        if job.output_bytes > 0:
+            yield self.network.transfer(job.server, job.client, job.output_bytes)
+        job.finished = self.sim.now
+        self.completed.append(job)
+        self.monitor.tally("response_time").record(job.response_time)
+        self.monitor.counter(f"jobs@{job.server}").increment(self.sim.now)
+
+    # -- results ------------------------------------------------------------------
+
+    @property
+    def mean_response_time(self) -> float:
+        """Mean response time over completed jobs — the E11 metric."""
+        return self.monitor.tally("response_time").mean
+
+    def run(self, horizon: float) -> "BricksModel":
+        """Convenience: start sources, run to quiescence, return self."""
+        self.start(horizon)
+        self.sim.run()
+        return self

@@ -1,0 +1,113 @@
+"""GridSim rebuilt: economy-driven brokering of task-farming applications.
+
+Per the paper: "GridSim is a simulator developed by researchers from the
+Gridbus project to investigate effective resource allocation techniques
+based on computational economy ...  It provides a comprehensive facility
+for creating different classes of heterogeneous resources ... (both time
+and space shared) ...  GridSim focuses on Grid economy, where the
+scheduling involves the notions of producers (resource owners), consumers
+(end-users) and brokers discovering and allocating resources to users ...
+mainly used to study cost-time optimization algorithms for scheduling task
+farming applications on heterogeneous Grids, considering economy based
+distributed resource management, dealing with deadline and budget
+constraints."  Its design allows *several* brokers (vs SimGrid1's one).
+
+:class:`GridSimModel` wires priced heterogeneous resources (time- or
+space-shared — the GridSim machine taxonomy), one or more
+:class:`~repro.middleware.economy.EconomyBroker` instances (multi-user
+economy), and gridlet farms, exposing the deadline × budget sweep of
+benchmark E10.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.engine import Simulator
+from ..core.errors import ConfigurationError
+from ..hosts.cpu import SpaceSharedMachine, TimeSharedMachine
+from ..hosts.site import Grid, Site
+from ..middleware.economy import EconomyBroker, ResourceOffer
+from ..middleware.jobs import Job
+from ..network.topology import Topology
+from ..workloads.taskfarm import task_farm
+
+__all__ = ["GridResourceSpec", "GridSimModel"]
+
+
+@dataclass(frozen=True, slots=True)
+class GridResourceSpec:
+    """One priced Grid resource (GridSim's ``GridResource``)."""
+
+    name: str
+    rating: float          # MIPS per PE
+    pes: int
+    price_per_mi: float    # G$ per MI
+    time_shared: bool = False
+
+    def __post_init__(self) -> None:
+        if self.rating <= 0 or self.pes < 1 or self.price_per_mi < 0:
+            raise ConfigurationError(f"bad resource spec {self.name!r}")
+
+
+#: A small heterogeneous testbed echoing the Nimrod-G / GridSim papers:
+#: fast resources are expensive, slow ones cheap.
+DEFAULT_RESOURCES = (
+    GridResourceSpec("R0-cheap-slow", rating=200.0, pes=4, price_per_mi=1.0),
+    GridResourceSpec("R1-mid", rating=500.0, pes=4, price_per_mi=3.0),
+    GridResourceSpec("R2-fast", rating=1000.0, pes=2, price_per_mi=6.0),
+    GridResourceSpec("R3-premium", rating=2000.0, pes=2, price_per_mi=12.0,
+                     time_shared=True),
+)
+
+
+class GridSimModel:
+    """Priced resources + economy brokers + gridlet farms."""
+
+    def __init__(self, sim: Simulator,
+                 resources: tuple[GridResourceSpec, ...] = DEFAULT_RESOURCES,
+                 bandwidth: float = 1e8) -> None:
+        if not resources:
+            raise ConfigurationError("need at least one resource")
+        self.sim = sim
+        self.resources = resources
+        topo = Topology()
+        topo.add_node("gis-hub")
+        sites = []
+        for spec in resources:
+            topo.add_link(spec.name, "gis-hub", bandwidth, 0.005)
+            mk = TimeSharedMachine if spec.time_shared else SpaceSharedMachine
+            sites.append(Site(sim, spec.name, machines=[
+                mk(sim, pes=spec.pes, rating=spec.rating,
+                   name=f"{spec.name}-m")]))
+        self.grid = Grid(sim, topo, sites)
+        self.offers = [ResourceOffer(s.name, s.price_per_mi) for s in resources]
+        self.brokers: list[EconomyBroker] = []
+
+    def new_broker(self, deadline: float, budget: float,
+                   strategy: str = "time") -> EconomyBroker:
+        """A user's broker (GridSim supports several concurrently)."""
+        broker = EconomyBroker(self.sim, self.grid, self.offers,
+                               deadline=deadline, budget=budget,
+                               strategy=strategy)
+        self.brokers.append(broker)
+        return broker
+
+    def farm(self, n: int, mean_length: float = 1000.0,
+             deadline: float = float("inf"), budget: float = float("inf"),
+             first_id: int = 0, seed_name: str = "farm") -> list[Job]:
+        """A gridlet farm (heterogeneous lengths, GridSim's app class)."""
+        return task_farm(self.sim.stream(seed_name), n,
+                         mean_length=mean_length, deadline=deadline,
+                         budget=budget, first_id=first_id)
+
+    def run_dbc(self, n_gridlets: int, deadline: float, budget: float,
+                strategy: str, mean_length: float = 1000.0) -> dict[str, float]:
+        """One deadline-budget-constrained experiment; returns the summary."""
+        broker = self.new_broker(deadline, budget, strategy)
+        jobs = self.farm(n_gridlets, mean_length=mean_length,
+                         deadline=deadline, budget=budget,
+                         first_id=1000 * len(self.brokers))
+        broker.submit_all(jobs)
+        self.sim.run()
+        return broker.summary()

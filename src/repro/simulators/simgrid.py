@@ -1,0 +1,207 @@
+"""SimGrid rebuilt: agents, channels, and scheduling-algorithm evaluation.
+
+Per the paper: "SimGrid is a simulation toolkit that provides core
+functionalities for the evaluation of scheduling algorithms in distributed
+applications in a heterogeneous, computational distributed environment ...
+SimGrid describes scheduling algorithms in terms of agent entities that
+make scheduling decisions.  These agents interact by sending and receiving
+events via communication channels.  SimGrid can be used to simulate compile
+time and running scheduling algorithms."  The paper also notes SimGrid
+"does not provide any of the system support facilities" (no middleware
+stack of its own) and that multi-broker Agents arrived only with SimGrid2.
+
+Two layers here:
+
+* the **agent API** (:class:`Agent`, :class:`SGTask`, channels as typed
+  mailboxes) — SimGrid1's MSG-flavoured programming model on our kernel;
+* the **scheduling evaluation harness**
+  (:meth:`SimGridModel.run_compile_time`, :meth:`SimGridModel.run_runtime`)
+  — the compile-time (HEFT plan, all decisions pre-execution) vs runtime
+  (ready-task dispatch under current load) comparison of benchmark E9.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ..core.engine import Simulator
+from ..core.errors import ConfigurationError
+from ..core.process import Process, ProcessBody
+from ..core.resources import Store
+from ..hosts.cpu import Machine, SpaceSharedMachine
+from ..hosts.load import RandomBurstLoad
+from ..hosts.site import Grid, Site
+from ..middleware.broker import DagRunner
+from ..middleware.jobs import Dag
+from ..middleware.scheduling import (
+    HeftScheduler,
+    PredictiveScheduler,
+    SchedulingContext,
+)
+from ..network.flow import FlowNetwork
+from ..network.topology import Topology
+
+__all__ = ["SGTask", "Agent", "SimGridModel"]
+
+
+@dataclass(slots=True)
+class SGTask:
+    """MSG-style task: some computation (MI) and some payload (bytes)."""
+
+    name: str
+    compute: float = 0.0
+    data: float = 0.0
+    sender: str = ""
+
+    def __post_init__(self) -> None:
+        if self.compute < 0 or self.data < 0:
+            raise ConfigurationError(f"task {self.name!r}: negative cost")
+
+
+class Agent:
+    """A SimGrid agent: a process bound to a host, talking via channels.
+
+    ``body(agent)`` is a generator; inside it, use ``yield agent.execute(t)``
+    to burn a task's compute on the local machine, ``agent.send(dst, task,
+    channel)`` / ``yield agent.recv(channel)`` to communicate (the transfer
+    charges the network for ``task.data`` bytes first).
+    """
+
+    def __init__(self, model: "SimGridModel", name: str, host: str,
+                 body: Callable[["Agent"], ProcessBody]) -> None:
+        self.model = model
+        self.name = name
+        self.host = host
+        self._mailboxes: dict[int, Store] = {}
+        self.process = Process(model.sim, body, self, name=f"agent-{name}")
+
+    def _mailbox(self, channel: int) -> Store:
+        mb = self._mailboxes.get(channel)
+        if mb is None:
+            mb = Store(self.model.sim, name=f"{self.name}-ch{channel}")
+            self._mailboxes[channel] = mb
+        return mb
+
+    def execute(self, task: SGTask):
+        """Waitable: run the task's computation on this agent's host."""
+        if task.compute <= 0:
+            raise ConfigurationError(f"task {task.name!r} has no computation")
+        return self.model.machine(self.host).submit(task.compute)
+
+    def send(self, dst: str, task: SGTask, channel: int = 0) -> None:
+        """Fire-and-forget: payload crosses the network, then is mailboxed."""
+        task.sender = self.name
+        target = self.model.agent(dst)
+
+        def deliver(_h=None) -> None:
+            target._mailbox(channel).put(task)
+
+        if task.data > 0 and self.host != target.host:
+            h = self.model.network.transfer(self.host, target.host, task.data)
+            h._subscribe(deliver)
+        else:
+            self.model.sim.schedule(0.0, deliver, label=f"msg:{task.name}")
+
+    def recv(self, channel: int = 0):
+        """Waitable: the next task arriving on *channel*."""
+        return self._mailbox(channel).get()
+
+
+class SimGridModel:
+    """Heterogeneous platform + agent registry + scheduling harness.
+
+    Parameters
+    ----------
+    host_ratings:
+        MIPS of each host (one space-shared single-PE machine per host —
+        SimGrid1's timeshared-host abstraction simplified to its
+        scheduling-relevant core).
+    bandwidth, latency:
+        Uniform full-mesh interconnect.
+    background_peak:
+        If set, every host carries random burst load — the "running
+        scheduling algorithms" environment where compile-time plans rot.
+    """
+
+    def __init__(self, sim: Simulator, host_ratings: dict[str, float],
+                 bandwidth: float = 1e8, latency: float = 0.005,
+                 pes: int = 1, background_peak: float | None = None,
+                 background_horizon: float = 10_000.0) -> None:
+        if not host_ratings:
+            raise ConfigurationError("need at least one host")
+        self.sim = sim
+        topo = Topology()
+        names = sorted(host_ratings)
+        for n in names:
+            topo.add_node(n)
+        for i, a in enumerate(names):
+            for b in names[i + 1:]:
+                topo.add_link(a, b, bandwidth, latency)
+        self._machines: dict[str, Machine] = {}
+        sites = []
+        for n in names:
+            m = SpaceSharedMachine(sim, pes=pes, rating=host_ratings[n],
+                                   name=f"{n}-cpu")
+            self._machines[n] = m
+            sites.append(Site(sim, n, machines=[m]))
+        self.grid = Grid(sim, topo, sites)
+        self.network: FlowNetwork = self.grid.network
+        self._agents: dict[str, Agent] = {}
+        self.bg_injectors = []
+        if background_peak is not None:
+            # bounded horizon: an unbounded injector would keep run() from
+            # ever draining the event queue
+            for n in names:
+                self.bg_injectors.append(RandomBurstLoad(
+                    sim, self._machines[n], sim.stream(f"sg-bg-{n}"),
+                    mean_gap=30.0, mean_burst=20.0, peak=background_peak,
+                    horizon=background_horizon))
+
+    def machine(self, host: str) -> Machine:
+        """The machine backing *host* (ConfigurationError if unknown)."""
+        try:
+            return self._machines[host]
+        except KeyError:
+            raise ConfigurationError(f"unknown host {host!r}") from None
+
+    # -- agent layer ---------------------------------------------------------------
+
+    def spawn(self, name: str, host: str,
+              body: Callable[[Agent], ProcessBody]) -> Agent:
+        """Create and start an agent on *host*."""
+        if name in self._agents:
+            raise ConfigurationError(f"duplicate agent name {name!r}")
+        self.machine(host)  # validates host
+        agent = Agent(self, name, host, body)
+        self._agents[name] = agent
+        return agent
+
+    def agent(self, name: str) -> Agent:
+        """A spawned agent by name (ConfigurationError if unknown)."""
+        try:
+            return self._agents[name]
+        except KeyError:
+            raise ConfigurationError(f"unknown agent {name!r}") from None
+
+    # -- scheduling harness ------------------------------------------------------------
+
+    def run_compile_time(self, dag: Dag) -> float:
+        """HEFT-plan the DAG, execute it, return the makespan."""
+        ctx = SchedulingContext(self.grid)
+        plan = HeftScheduler().plan(dag, ctx)
+        runner = DagRunner(self.sim, self.grid, dag, plan=plan)
+        runner.start()
+        self.sim.run()
+        return runner.makespan
+
+    def run_runtime(self, dag: Dag) -> float:
+        """Dispatch each ready task to the best-predicted host *now*."""
+        runner = DagRunner(self.sim, self.grid, dag,
+                           scheduler=PredictiveScheduler())
+        runner.start()
+        self.sim.run()
+        return runner.makespan
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<SimGridModel hosts={len(self._machines)} agents={len(self._agents)}>"

@@ -1,0 +1,77 @@
+"""The paper's taxonomy, executable.
+
+Schema (:mod:`~repro.taxonomy.schema`), records
+(:mod:`~repro.taxonomy.record`), the classified six-simulator registry
+(:mod:`~repro.taxonomy.registry`), consistency rules + live-engine
+classification (:mod:`~repro.taxonomy.classify`), pairwise/coverage
+comparison (:mod:`~repro.taxonomy.compare`), and the Table-1 renderers
+(:mod:`~repro.taxonomy.report`).
+"""
+
+from .classify import Inconsistency, check_consistency, classify_engine, validate_registry
+from .compare import AxisDiff, complementarity, coverage, diff, similarity
+from .record import TABLE1_AXES, SimulatorRecord
+from .registry import REPRO_RECORD, SURVEYED, all_records, record
+from .report import (
+    render_ascii,
+    render_csv,
+    render_markdown,
+    survey_report,
+    table1_rows,
+)
+from .schema import (
+    Behavior,
+    Component,
+    DesKind,
+    EntityMapping,
+    Execution,
+    InputKind,
+    Mechanics,
+    Motivation,
+    OutputAnalysis,
+    QueueStructure,
+    SpecMode,
+    SystemKind,
+    TimeBase,
+    UiKind,
+    ValidationKind,
+)
+
+__all__ = [
+    "SimulatorRecord",
+    "TABLE1_AXES",
+    "SURVEYED",
+    "REPRO_RECORD",
+    "all_records",
+    "record",
+    "check_consistency",
+    "classify_engine",
+    "validate_registry",
+    "Inconsistency",
+    "diff",
+    "similarity",
+    "coverage",
+    "complementarity",
+    "AxisDiff",
+    "table1_rows",
+    "render_ascii",
+    "render_markdown",
+    "render_csv",
+    "survey_report",
+    # schema
+    "Motivation",
+    "SystemKind",
+    "Component",
+    "Behavior",
+    "TimeBase",
+    "Mechanics",
+    "DesKind",
+    "Execution",
+    "QueueStructure",
+    "EntityMapping",
+    "SpecMode",
+    "InputKind",
+    "UiKind",
+    "OutputAnalysis",
+    "ValidationKind",
+]

@@ -1,0 +1,141 @@
+"""Consistency rules and introspective classification.
+
+Two jobs:
+
+1. :func:`check_consistency` — the taxonomy's internal logic as executable
+   rules.  A classification that, e.g., claims trace-driven advancement but
+   no monitored-input support is self-contradictory; the paper's *arguments*
+   (deprecating serial/parallel, physical time being inherent) also become
+   rules.
+2. :func:`classify_engine` — derive a partial record from a *live* kernel
+   object, so this framework's registry row is checked against reality
+   instead of hand-maintained (the classifier looks at the actual engine
+   class and queue structure in use).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.engine import Simulator
+from ..core.queues import CalendarQueue, HeapQueue, LadderQueue, LinearQueue, SplayQueue
+from ..core.timedriven import TimeDrivenSimulator
+from ..core.tracedriven import TraceDrivenSimulator
+from .record import SimulatorRecord
+from .schema import (
+    Component,
+    DesKind,
+    Execution,
+    InputKind,
+    Mechanics,
+    Motivation,
+    QueueStructure,
+    SpecMode,
+    TimeBase,
+    UiKind,
+    ValidationKind,
+)
+
+__all__ = ["Inconsistency", "check_consistency", "classify_engine"]
+
+
+@dataclass(frozen=True, slots=True)
+class Inconsistency:
+    """One violated rule: which record, which rule, why."""
+
+    record: str
+    rule: str
+    detail: str
+
+    def __str__(self) -> str:  # pragma: no cover
+        return f"[{self.record}] {self.rule}: {self.detail}"
+
+
+def check_consistency(rec: SimulatorRecord) -> list[Inconsistency]:
+    """All taxonomy-logic violations in one record (empty = consistent)."""
+    out: list[Inconsistency] = []
+
+    def bad(rule: str, detail: str) -> None:
+        out.append(Inconsistency(rec.name, rule, detail))
+
+    # The paper's §3 argument: serial/parallel is the rejected Sulistio
+    # split; records must use centralized/distributed.
+    if rec.execution in (Execution.SERIAL, Execution.PARALLEL):
+        bad("deprecated-execution",
+            "use CENTRALIZED or DISTRIBUTED (the paper replaces "
+            "Sulistio's serial/parallel split)")
+
+    # Trace-driven DES implies the tool can consume externally collected
+    # event sets — i.e. monitored input.
+    if DesKind.TRACE_DRIVEN in rec.des_kinds \
+            and InputKind.MONITORED not in rec.input_kinds:
+        bad("trace-needs-monitored-input",
+            "trace-driven advancement replays collected data, so "
+            "input_kinds must include MONITORED")
+
+    # A discrete-event simulator has a discrete time base (continuous time
+    # base would make it an emulator/hybrid in the paper's terms).
+    if rec.mechanics is Mechanics.DISCRETE_EVENT \
+            and rec.time_base is not TimeBase.DISCRETE:
+        bad("des-discrete-time",
+            "discrete-event mechanics requires a discrete time base")
+
+    # Scheduling studies need something to schedule *on*: hosts.
+    if Motivation.SCHEDULING in rec.motivations \
+            and Component.HOSTS not in rec.components:
+        bad("scheduling-needs-hosts",
+            "a scheduling-motivated simulator must model hosts")
+
+    # Replication studies need storage-bearing hosts and a network.
+    if Motivation.DATA_REPLICATION in rec.motivations:
+        for needed in (Component.HOSTS, Component.NETWORK):
+            if needed not in rec.components:
+                bad("replication-needs-substrate",
+                    f"data replication requires the {needed.value} component")
+
+    # A visual design mode and a textual-only design UI contradict.
+    if SpecMode.VISUAL in rec.spec_modes and rec.design_ui is UiKind.TEXTUAL:
+        bad("visual-spec-needs-gui",
+            "visual model construction implies a graphical design interface")
+    if rec.design_ui is not UiKind.TEXTUAL and SpecMode.VISUAL not in rec.spec_modes:
+        bad("gui-implies-visual-spec",
+            "a graphical design interface implies a VISUAL spec mode")
+
+    return out
+
+
+def classify_engine(sim: Simulator) -> dict[str, object]:
+    """Partial classification of a live kernel instance.
+
+    Returns the axes derivable from the object itself; the rest (scope,
+    UI, validation) are properties of the surrounding tool, not the engine.
+    """
+    if isinstance(sim, TraceDrivenSimulator):
+        des = DesKind.TRACE_DRIVEN
+    elif isinstance(sim, TimeDrivenSimulator):
+        des = DesKind.TIME_DRIVEN
+    else:
+        des = DesKind.EVENT_DRIVEN
+    queue = sim._queue  # noqa: SLF001 - introspection is this function's job
+    if isinstance(queue, LinearQueue):
+        qs = QueueStructure.LINEAR
+    elif isinstance(queue, (HeapQueue, SplayQueue)):
+        qs = QueueStructure.TREE
+    elif isinstance(queue, (CalendarQueue, LadderQueue)):
+        qs = QueueStructure.CALENDAR
+    else:
+        qs = QueueStructure.UNKNOWN
+    return {
+        "mechanics": Mechanics.DISCRETE_EVENT,
+        "time_base": TimeBase.DISCRETE,
+        "des_kind": des,
+        "queue_structure": qs,
+    }
+
+
+def validate_registry(records) -> list[Inconsistency]:
+    """Convenience: concatenated violations across many records."""
+    out: list[Inconsistency] = []
+    for rec in records:
+        out.extend(check_consistency(rec))
+    return out

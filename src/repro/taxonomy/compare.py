@@ -1,0 +1,103 @@
+"""Pairwise comparison and parameter-space coverage analysis.
+
+The paper's Section 4 conclusion: "even if many of them attack similar
+problems ... the simulators give a complementary approach to each other,
+allowing exploration of different areas of parameter space."  This module
+makes that claim measurable: axis-by-axis diffs between two records,
+Jaccard-style similarity, and a coverage report showing which taxonomy
+values any simulator set leaves unexplored.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from .record import TABLE1_AXES, SimulatorRecord
+
+__all__ = ["AxisDiff", "diff", "similarity", "coverage", "complementarity"]
+
+
+@dataclass(frozen=True, slots=True)
+class AxisDiff:
+    """One axis where two records disagree."""
+
+    axis: str
+    left: str
+    right: str
+
+
+def diff(a: SimulatorRecord, b: SimulatorRecord) -> list[AxisDiff]:
+    """Axes on which *a* and *b* differ (rendered values)."""
+    out = []
+    for axis in TABLE1_AXES:
+        la, rb = a.short(axis), b.short(axis)
+        if la != rb:
+            out.append(AxisDiff(axis, la, rb))
+    return out
+
+
+def similarity(a: SimulatorRecord, b: SimulatorRecord) -> float:
+    """Fraction of axes in agreement, weighting set axes by Jaccard overlap."""
+    total = 0.0
+    for axis in TABLE1_AXES:
+        va, vb = a.axis_value(axis), b.axis_value(axis)
+        if isinstance(va, frozenset):
+            union = va | vb
+            total += len(va & vb) / len(union) if union else 1.0
+        else:
+            total += 1.0 if va == vb else 0.0
+    return total / len(TABLE1_AXES)
+
+
+def _axis_values(records: Iterable[SimulatorRecord], axis: str) -> set:
+    seen = set()
+    for r in records:
+        v = r.axis_value(axis)
+        if isinstance(v, frozenset):
+            seen |= v
+        else:
+            seen.add(v)
+    return seen
+
+
+def coverage(records: Sequence[SimulatorRecord]) -> dict[str, dict[str, bool]]:
+    """Per-axis map of taxonomy value -> covered by at least one record.
+
+    Boolean axes are reported as 'yes'/'no' coverage; enum axes enumerate
+    the enum's members (deprecated execution members are excluded — they
+    are rejected categories, not parameter space).
+    """
+    from .schema import Execution
+
+    out: dict[str, dict[str, bool]] = {}
+    for axis in TABLE1_AXES:
+        seen = _axis_values(records, axis)
+        domain: list = []
+        sample = records[0].axis_value(axis) if records else None
+        if isinstance(sample, bool):
+            out[axis] = {"yes": True in seen, "no": False in seen}
+            continue
+        if isinstance(sample, frozenset):
+            member = next(iter(sample))
+            domain = list(type(member))
+        elif sample is not None:
+            domain = list(type(sample))
+        covered = {}
+        for member in domain:
+            if member in (Execution.SERIAL, Execution.PARALLEL):
+                continue
+            covered[member.value] = member in seen
+        out[axis] = covered
+    return out
+
+
+def complementarity(records: Sequence[SimulatorRecord]) -> float:
+    """How much of the taxonomy's space the set covers jointly, in [0, 1].
+
+    The quantified version of "allowing exploration of different areas of
+    parameter space": fraction of (axis, value) cells hit by >= 1 record.
+    """
+    cov = coverage(records)
+    cells = [hit for axis in cov.values() for hit in axis.values()]
+    return sum(cells) / len(cells) if cells else 0.0

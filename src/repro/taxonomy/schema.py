@@ -1,0 +1,186 @@
+"""The taxonomy's category system (Section 3 of the paper, executable).
+
+Every classification axis the paper defines is an enum here, grouped the
+way Section 3 groups them:
+
+**Simulation model**
+  scope/motivation (:class:`Motivation`), supported system kinds
+  (:class:`SystemKind`), simulated components (:class:`Component`),
+  behavior (:class:`Behavior`), time base (:class:`TimeBase`).
+
+**Implementation / engine**
+  mechanics (:class:`Mechanics`), DES kind (:class:`DesKind`), execution
+  (:class:`Execution`), event-list structure (:class:`QueueStructure`),
+  entity/thread mapping (:class:`EntityMapping`).
+
+**Usability**
+  model specification (:class:`SpecMode`), input data
+  (:class:`InputKind`), design/execution/output interfaces
+  (:class:`UiKind`, :class:`OutputAnalysis`), validation
+  (:class:`ValidationKind`).
+
+The enums deliberately include members the paper argues *against* (e.g.
+``Execution.SERIAL``) so the registry can encode its critique — a record
+using a deprecated member trips a consistency rule in
+:mod:`repro.taxonomy.classify`.
+"""
+
+from __future__ import annotations
+
+import enum
+
+__all__ = [
+    "Motivation",
+    "SystemKind",
+    "Component",
+    "Behavior",
+    "TimeBase",
+    "Mechanics",
+    "DesKind",
+    "Execution",
+    "QueueStructure",
+    "EntityMapping",
+    "SpecMode",
+    "InputKind",
+    "UiKind",
+    "OutputAnalysis",
+    "ValidationKind",
+]
+
+
+class Motivation(enum.Enum):
+    """The scope axis: what class of problem drove the simulator.
+
+    The paper (via Venugopal 2006) notes most Grid simulators were born of
+    the LHC validation effort, giving three recurring motivations, plus
+    the general ones.
+    """
+
+    SCHEDULING = "scheduling"
+    DATA_REPLICATION = "data replication"
+    DATA_TRANSPORT = "data transport"
+    GENERIC_MODELING = "generic modeling"
+    ECONOMY = "computational economy"
+
+
+class SystemKind(enum.Enum):
+    """Kinds of large-scale distributed systems a model can express."""
+
+    CLUSTER = "cluster"
+    GRID = "grid"
+    P2P = "p2p"
+    CLOUD = "cloud"
+    WEB = "web"
+    INTRANET = "intranet"
+    FARM = "farm"
+    APPLICATION = "distributed application"
+
+
+class Component(enum.Enum):
+    """The four-component stack of the taxonomy's scope discussion."""
+
+    HOSTS = "hosts"
+    NETWORK = "network"
+    MIDDLEWARE = "middleware"
+    APPLICATIONS = "user applications"
+
+
+class Behavior(enum.Enum):
+    """Deterministic vs probabilistic simulation."""
+
+    DETERMINISTIC = "deterministic"
+    PROBABILISTIC = "probabilistic"
+
+
+class TimeBase(enum.Enum):
+    """Values the simulation clock may take."""
+
+    DISCRETE = "discrete"
+    CONTINUOUS = "continuous"
+
+
+class Mechanics(enum.Enum):
+    """How state changes advance: the engine's fundamental design."""
+
+    CONTINUOUS = "continuous (emulator)"
+    DISCRETE_EVENT = "discrete-event"
+    HYBRID = "hybrid"
+
+
+class DesKind(enum.Enum):
+    """Sub-classification of discrete-event simulation."""
+
+    EVENT_DRIVEN = "event-driven"
+    TIME_DRIVEN = "time-driven"
+    TRACE_DRIVEN = "trace-driven"
+
+
+class Execution(enum.Enum):
+    """The paper's centralized/distributed split (replacing serial/parallel).
+
+    ``SERIAL`` and ``PARALLEL`` are retained as the *rejected* Sulistio
+    categories; records must use CENTRALIZED or DISTRIBUTED.
+    """
+
+    CENTRALIZED = "centralized"
+    DISTRIBUTED = "distributed"
+    SERIAL = "serial (deprecated)"
+    PARALLEL = "parallel (deprecated)"
+
+
+class QueueStructure(enum.Enum):
+    """Event-list structure families and their costs (the §3/§5 concern)."""
+
+    LINEAR = "linear list O(n)"
+    TREE = "tree / heap O(log n)"
+    CALENDAR = "calendar / ladder O(1)"
+    UNKNOWN = "undocumented"
+
+
+class EntityMapping(enum.Enum):
+    """How simulated jobs map onto execution contexts."""
+
+    ONE_TO_ONE = "thread per entity"
+    SHARED_CONTEXT = "entities share contexts"
+    POOLED = "context pool / reuse"
+    EVENT_CALLBACKS = "no contexts (pure event callbacks)"
+
+
+class SpecMode(enum.Enum):
+    """How users specify simulation models."""
+
+    LANGUAGE = "specialized language"
+    LIBRARY = "general language + libraries"
+    VISUAL = "visual model construction"
+
+
+class InputKind(enum.Enum):
+    """Where workloads come from."""
+
+    GENERATOR = "input data generators"
+    MONITORED = "monitored data sets"
+
+
+class UiKind(enum.Enum):
+    """Interface kinds (design and execution)."""
+
+    TEXTUAL = "textual"
+    GRAPHICAL = "graphical"
+    INTERACTIVE_GRAPHICAL = "graphical + runtime interaction"
+
+
+class OutputAnalysis(enum.Enum):
+    """Visual output analyzer capability."""
+
+    NONE = "raw text output"
+    PLOTS = "plots (2D/3D)"
+    ANALYSIS = "plots + comparative analysis"
+
+
+class ValidationKind(enum.Enum):
+    """How (whether) the simulator's model was validated."""
+
+    NONE = "no published validation"
+    MATHEMATICAL = "validation vs analytic model"
+    TESTBED = "validation vs real-world testbed"
+    BOTH = "analytic + testbed validation"

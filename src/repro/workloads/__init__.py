@@ -1,0 +1,52 @@
+"""Workload generators: arrivals, task farms, DAGs, file access, LHC loads.
+
+The *user applications* layer of the taxonomy — everything here produces
+plain data (times, jobs, DAGs, file schedules) that the middleware and
+simulator models consume, keeping workload definition independent of model
+execution (the *input data generator* classification of Section 3).
+"""
+
+from .access import (
+    ACCESS_PATTERNS,
+    gaussian_walk_requests,
+    random_requests,
+    sequential_requests,
+    unitary_walk_requests,
+    zipf_requests,
+)
+from .arrivals import heavy_tail_arrivals, mmpp_arrivals, poisson_arrivals
+from .dags import chain_dag, fork_join_dag, layered_dag
+from .lhc import (
+    ATLAS_2005,
+    CMS_2005,
+    ExperimentSpec,
+    analysis_jobs,
+    production_schedule,
+)
+from .taskfarm import batch_arrival_farm, task_farm
+from .traces import JOB_SUBMIT_KIND, jobs_from_trace, jobs_to_trace
+
+__all__ = [
+    "poisson_arrivals",
+    "mmpp_arrivals",
+    "heavy_tail_arrivals",
+    "task_farm",
+    "batch_arrival_farm",
+    "layered_dag",
+    "fork_join_dag",
+    "chain_dag",
+    "ACCESS_PATTERNS",
+    "sequential_requests",
+    "random_requests",
+    "unitary_walk_requests",
+    "gaussian_walk_requests",
+    "zipf_requests",
+    "ExperimentSpec",
+    "CMS_2005",
+    "ATLAS_2005",
+    "production_schedule",
+    "analysis_jobs",
+    "jobs_to_trace",
+    "jobs_from_trace",
+    "JOB_SUBMIT_KIND",
+]

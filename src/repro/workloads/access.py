@@ -1,0 +1,99 @@
+"""File-access patterns: OptorSim's four request sequences plus Zipf draws.
+
+OptorSim characterizes replication strategies by how a job walks its file
+set; the original evaluation used exactly these access patterns:
+
+* **sequential** — files in catalog order;
+* **random** — uniform over the file set;
+* **unitary random walk** — next file is ±1 from the previous index;
+* **gaussian random walk** — next index offset drawn from a Gaussian.
+
+:func:`zipf_requests` adds the popularity-skewed stream (a few hot files
+dominating) that makes replication pay at all — the distribution modern
+data-grid studies default to.
+
+Each generator yields file *indices*; callers map them onto their
+:class:`~repro.network.transfer.FileSpec` list.
+"""
+
+from __future__ import annotations
+
+from ..core.errors import ConfigurationError
+from ..core.rng import Stream
+
+__all__ = [
+    "sequential_requests",
+    "random_requests",
+    "unitary_walk_requests",
+    "gaussian_walk_requests",
+    "zipf_requests",
+    "ACCESS_PATTERNS",
+]
+
+
+def sequential_requests(stream: Stream, n_files: int, n_requests: int,
+                        start: int = 0) -> list[int]:
+    """0,1,2,...,wrap — the streaming-analysis access order."""
+    _validate(n_files, n_requests)
+    return [(start + i) % n_files for i in range(n_requests)]
+
+
+def random_requests(stream: Stream, n_files: int, n_requests: int) -> list[int]:
+    """Uniform i.i.d. requests."""
+    _validate(n_files, n_requests)
+    return [stream.randint(0, n_files - 1) for _ in range(n_requests)]
+
+
+def unitary_walk_requests(stream: Stream, n_files: int, n_requests: int,
+                          start: int | None = None) -> list[int]:
+    """±1 random walk over the file indices (reflecting at the edges)."""
+    _validate(n_files, n_requests)
+    pos = n_files // 2 if start is None else start
+    out = []
+    for _ in range(n_requests):
+        pos += 1 if stream.bernoulli(0.5) else -1
+        pos = max(0, min(n_files - 1, pos))
+        out.append(pos)
+    return out
+
+
+def gaussian_walk_requests(stream: Stream, n_files: int, n_requests: int,
+                           sigma_frac: float = 0.05,
+                           start: int | None = None) -> list[int]:
+    """Gaussian-step random walk: steps ~ N(0, sigma_frac * n_files)."""
+    _validate(n_files, n_requests)
+    if sigma_frac <= 0:
+        raise ConfigurationError("sigma_frac must be > 0")
+    pos = float(n_files // 2 if start is None else start)
+    sigma = sigma_frac * n_files
+    out = []
+    for _ in range(n_requests):
+        pos += stream.normal(0.0, sigma)
+        pos = max(0.0, min(float(n_files - 1), pos))
+        out.append(int(round(pos)))
+    return out
+
+
+def zipf_requests(stream: Stream, n_files: int, n_requests: int,
+                  s: float = 1.0) -> list[int]:
+    """Zipf(s)-popular requests: index 0 is the hottest file."""
+    _validate(n_files, n_requests)
+    sample = stream.zipf_sampler(n_files, s)
+    return [sample() for _ in range(n_requests)]
+
+
+def _validate(n_files: int, n_requests: int) -> None:
+    if n_files < 1:
+        raise ConfigurationError(f"n_files must be >= 1, got {n_files}")
+    if n_requests < 0:
+        raise ConfigurationError(f"n_requests must be >= 0, got {n_requests}")
+
+
+#: Registry keyed by the names OptorSim's config files use.
+ACCESS_PATTERNS = {
+    "sequential": sequential_requests,
+    "random": random_requests,
+    "unitary": unitary_walk_requests,
+    "gaussian": gaussian_walk_requests,
+    "zipf": zipf_requests,
+}

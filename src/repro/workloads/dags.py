@@ -1,0 +1,96 @@
+"""DAG workload generators for SimGrid-style workflow scheduling studies.
+
+Three canonical shapes drive benchmark E9 (compile-time vs runtime
+scheduling):
+
+* :func:`layered_dag` — random layered graphs (the Tobita/Kasahara STG
+  style): L layers, random edges between adjacent layers;
+* :func:`fork_join_dag` — a root fans out to W parallel branches of depth D
+  that re-join (bag-of-DAGs / map-reduce-ish);
+* :func:`chain_dag` — the pure pipeline (maximal precedence constraint).
+"""
+
+from __future__ import annotations
+
+from ..core.errors import ConfigurationError
+from ..core.rng import Stream
+from ..middleware.jobs import Dag, Job
+
+__all__ = ["layered_dag", "fork_join_dag", "chain_dag"]
+
+
+def _job(stream: Stream, jid: int, mean_length: float) -> Job:
+    return Job(id=jid,
+               length=stream.normal(mean_length, 0.3 * mean_length,
+                                    floor=0.1 * mean_length))
+
+
+def layered_dag(stream: Stream, layers: int, width: int,
+                edge_prob: float = 0.5, mean_length: float = 1000.0,
+                mean_edge_bytes: float = 1e6) -> Dag:
+    """Random layered DAG: every non-root node gets >= 1 incoming edge.
+
+    Edges only go layer k → k+1; each candidate edge appears with
+    ``edge_prob``, and a uniformly chosen parent is forced when the draw
+    leaves a node orphaned (standard STG construction).
+    """
+    if layers < 1 or width < 1:
+        raise ConfigurationError("layers and width must be >= 1")
+    if not 0.0 <= edge_prob <= 1.0:
+        raise ConfigurationError("edge_prob must be in [0,1]")
+    dag = Dag()
+    grid: list[list[Job]] = []
+    jid = 0
+    for _ in range(layers):
+        row = []
+        for _ in range(width):
+            row.append(dag.add_job(_job(stream, jid, mean_length)))
+            jid += 1
+        grid.append(row)
+    for k in range(layers - 1):
+        for child in grid[k + 1]:
+            parents = [p for p in grid[k] if stream.bernoulli(edge_prob)]
+            if not parents:
+                parents = [stream.choice(grid[k])]
+            for p in parents:
+                dag.add_edge(p.id, child.id,
+                             data=stream.exponential(mean_edge_bytes))
+    return dag
+
+
+def fork_join_dag(stream: Stream, branches: int, depth: int,
+                  mean_length: float = 1000.0,
+                  mean_edge_bytes: float = 1e6) -> Dag:
+    """Root → *branches* parallel chains of *depth* → join node."""
+    if branches < 1 or depth < 1:
+        raise ConfigurationError("branches and depth must be >= 1")
+    dag = Dag()
+    jid = 0
+    root = dag.add_job(_job(stream, jid, mean_length)); jid += 1
+    tails = []
+    for _ in range(branches):
+        prev = root
+        for _ in range(depth):
+            node = dag.add_job(_job(stream, jid, mean_length)); jid += 1
+            dag.add_edge(prev.id, node.id, data=stream.exponential(mean_edge_bytes))
+            prev = node
+        tails.append(prev)
+    join = dag.add_job(_job(stream, jid, mean_length))
+    for t in tails:
+        dag.add_edge(t.id, join.id, data=stream.exponential(mean_edge_bytes))
+    return dag
+
+
+def chain_dag(stream: Stream, length: int, mean_length: float = 1000.0,
+              mean_edge_bytes: float = 1e6) -> Dag:
+    """A pure pipeline of *length* stages."""
+    if length < 1:
+        raise ConfigurationError("length must be >= 1")
+    dag = Dag()
+    prev = None
+    for jid in range(length):
+        node = dag.add_job(_job(stream, jid, mean_length))
+        if prev is not None:
+            dag.add_edge(prev.id, node.id, data=stream.exponential(mean_edge_bytes))
+        prev = node
+    return dag

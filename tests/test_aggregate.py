@@ -1,0 +1,137 @@
+"""Tests for model simplification (machine aggregation + grid coarsening)."""
+
+import pytest
+
+from repro.core import ConfigurationError, Simulator
+from repro.hosts import (
+    Disk,
+    Grid,
+    Site,
+    SpaceSharedMachine,
+    aggregate_machines,
+    coarsen_grid,
+)
+from repro.middleware import GridRunner, Job, LeastLoadedScheduler
+from repro.network import FileSpec, Topology
+
+
+def detailed_grid(sim, n_sites=4, pes=2, rating=500.0):
+    topo = Topology()
+    topo.add_node("WAN")
+    sites = []
+    for i in range(n_sites):
+        name = f"s{i}"
+        topo.add_link(name, "WAN", 1e8, 0.01)
+        sites.append(Site(sim, name,
+                          machines=[SpaceSharedMachine(sim, pes=pes,
+                                                       rating=rating,
+                                                       name=f"{name}-m")],
+                          disk=Disk(sim, 1e12, name=f"{name}-d")))
+    return Grid(sim, topo, sites)
+
+
+class TestAggregateMachines:
+    def test_preserves_total_capacity(self):
+        sim = Simulator()
+        ms = [SpaceSharedMachine(sim, pes=2, rating=1000.0),
+              SpaceSharedMachine(sim, pes=4, rating=250.0)]
+        agg = aggregate_machines(sim, ms)
+        assert agg.pes == 6
+        assert agg.total_mips == pytest.approx(2 * 1000 + 4 * 250)
+
+    def test_single_machine_identity(self):
+        sim = Simulator()
+        m = SpaceSharedMachine(sim, pes=3, rating=700.0)
+        agg = aggregate_machines(sim, [m])
+        assert agg.pes == 3 and agg.rating == pytest.approx(700.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            aggregate_machines(Simulator(), [])
+
+    def test_pooling_never_slower_for_uniform_fleet(self):
+        """One pooled queue serves a backlog no later than split queues."""
+        def run(split):
+            sim = Simulator()
+            if split:
+                ms = [SpaceSharedMachine(sim, pes=1, rating=100.0, name=f"m{i}")
+                      for i in range(4)]
+            else:
+                base = [SpaceSharedMachine(sim, pes=1, rating=100.0)
+                        for _ in range(4)]
+                ms = [aggregate_machines(sim, base)]
+            runs = []
+            # imbalanced static assignment for the split case
+            for i in range(8):
+                target = ms[0] if not split else ms[i % 2]  # only 2 of 4 used
+                runs.append(target.submit(100.0))
+            sim.run()
+            return max(r.finished for r in runs)
+
+        assert run(split=False) <= run(split=True)
+
+
+class TestCoarsenGrid:
+    def test_structure_and_capacity(self):
+        sim_a = Simulator()
+        grid = detailed_grid(sim_a, n_sites=4, pes=2, rating=500.0)
+        sim_b = Simulator()
+        coarse = coarsen_grid(sim_b, grid,
+                              {"east": ["s0", "s1"], "west": ["s2", "s3"]})
+        assert sorted(coarse.site_names) == ["east", "west"]
+        assert coarse.site("east").total_pes == 4
+        assert coarse.site("east").total_mips == pytest.approx(4 * 500.0)
+
+    def test_disk_capacity_sums_and_files_carry(self):
+        sim_a = Simulator()
+        grid = detailed_grid(sim_a, n_sites=2)
+        grid.site("s0").store_file(FileSpec("data", 100.0))
+        sim_b = Simulator()
+        coarse = coarsen_grid(sim_b, grid, {"all": ["s0", "s1"]})
+        assert coarse.site("all").disk.capacity == pytest.approx(2e12)
+        assert coarse.site("all").has_file("data")
+
+    def test_bandwidth_sums(self):
+        sim_a = Simulator()
+        grid = detailed_grid(sim_a, n_sites=3)
+        sim_b = Simulator()
+        coarse = coarsen_grid(sim_b, grid, {"g": ["s0", "s1", "s2"]})
+        link = coarse.topology.link("g", "AGG-WAN")
+        assert link.bandwidth == pytest.approx(3e8)
+
+    def test_duplicate_membership_rejected(self):
+        sim_a = Simulator()
+        grid = detailed_grid(sim_a, n_sites=2)
+        with pytest.raises(ConfigurationError, match="two groups"):
+            coarsen_grid(Simulator(), grid, {"a": ["s0"], "b": ["s0", "s1"]})
+
+    def test_unknown_member_rejected(self):
+        sim_a = Simulator()
+        grid = detailed_grid(sim_a, n_sites=2)
+        with pytest.raises(ConfigurationError):
+            coarsen_grid(Simulator(), grid, {"a": ["ghost"]})
+
+    def test_coarse_model_approximates_detailed_makespan(self):
+        """The E14 claim in miniature: coarse != exact but close, cheaper."""
+        def run(build):
+            sim = Simulator(seed=9)
+            grid = build(sim)
+            runner = GridRunner(sim, grid, scheduler=LeastLoadedScheduler())
+            jobs = [Job(id=i, length=1000.0, submitted=float(i)) for i in range(40)]
+            runner.submit_all(jobs)
+            sim.run()
+            return runner.makespan, sim.events_executed
+
+        def detailed(sim):
+            return detailed_grid(sim, n_sites=8, pes=2, rating=500.0)
+
+        def coarse(sim):
+            ref_sim = Simulator()
+            ref = detailed_grid(ref_sim, n_sites=8, pes=2, rating=500.0)
+            return coarsen_grid(sim, ref, {
+                "g0": [f"s{i}" for i in range(4)],
+                "g1": [f"s{i}" for i in range(4, 8)]})
+
+        exact_ms, exact_events = run(detailed)
+        coarse_ms, coarse_events = run(coarse)
+        assert coarse_ms == pytest.approx(exact_ms, rel=0.25)

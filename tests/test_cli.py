@@ -1,0 +1,87 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestTable1:
+    def test_ascii_default(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Bricks" in out and "MONARC 2" in out
+        assert "repro" not in out.split("\n")[0]
+
+    def test_markdown(self, capsys):
+        assert main(["table1", "--format", "markdown"]) == 0
+        assert capsys.readouterr().out.startswith("| Axis |")
+
+    def test_csv_parses(self, capsys):
+        import csv
+        import io
+
+        assert main(["table1", "--format", "csv"]) == 0
+        rows = list(csv.reader(io.StringIO(capsys.readouterr().out)))
+        assert rows[0][0] == "Axis" and len(rows) == 18
+
+    def test_include_repro_adds_column(self, capsys):
+        assert main(["table1", "--include-repro"]) == 0
+        assert "repro" in capsys.readouterr().out
+
+
+class TestSurveyAndCoverage:
+    def test_survey_has_provenance(self, capsys):
+        assert main(["survey"]) == 0
+        out = capsys.readouterr().out
+        assert "Provenance notes" in out
+
+    def test_coverage_lists_missing_cells(self, capsys):
+        assert main(["coverage"]) == 0
+        out = capsys.readouterr().out
+        assert "joint coverage" in out
+        assert "missing" in out  # the six leave cells unexplored
+
+
+class TestDiff:
+    def test_known_pair(self, capsys):
+        assert main(["diff", "SimGrid", "GridSim"]) == 0
+        out = capsys.readouterr().out
+        assert "similarity" in out and "components" in out
+
+    def test_unknown_simulator_fails(self, capsys):
+        assert main(["diff", "SimGrid", "ns-3"]) == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestValidate:
+    def test_moderate_load_passes(self, capsys):
+        assert main(["validate", "--rho", "0.5", "--jobs", "4000"]) == 0
+        out = capsys.readouterr().out
+        assert "worst relative error" in out
+
+    def test_bad_rho_rejected(self, capsys):
+        assert main(["validate", "--rho", "1.5"]) == 2
+
+
+class TestClassify:
+    def test_lists_engines(self, capsys):
+        assert main(["classify"]) == 0
+        out = capsys.readouterr().out
+        assert "event-driven + heap" in out
+        assert "time-driven" in out
+
+
+def test_module_entrypoint_runs():
+    import subprocess
+    import sys
+
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", "table1", "--format", "csv"],
+        capture_output=True, text=True, timeout=120)
+    assert proc.returncode == 0
+    assert proc.stdout.startswith('"Axis"')
+
+
+def test_missing_command_errors():
+    with pytest.raises(SystemExit):
+        main([])

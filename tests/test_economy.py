@@ -1,0 +1,147 @@
+"""Tests for the GridSim-style deadline/budget economy broker."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import ConfigurationError, Simulator
+from repro.hosts import Grid, Site, SpaceSharedMachine
+from repro.middleware import EconomyBroker, Job, JobState, ResourceOffer
+from repro.network import Topology
+
+
+def priced_grid(sim, specs=((100.0, 1, 1.0), (500.0, 1, 5.0))):
+    """specs: (rating, pes, price) per site; returns (grid, offers)."""
+    topo = Topology()
+    names = [f"R{i}" for i in range(len(specs))]
+    for n in names:
+        topo.add_node(n)
+    sites, offers = [], []
+    for n, (rating, pes, price) in zip(names, specs):
+        sites.append(Site(sim, n, machines=[
+            SpaceSharedMachine(sim, pes=pes, rating=rating, name=f"{n}-m")]))
+        offers.append(ResourceOffer(n, price))
+    return Grid(sim, topo, sites), offers
+
+
+def gridlets(n, length=100.0):
+    return [Job(id=i, length=length) for i in range(n)]
+
+
+class TestDispatch:
+    def test_time_opt_prefers_fast_resource(self):
+        sim = Simulator()
+        grid, offers = priced_grid(sim)
+        broker = EconomyBroker(sim, grid, offers, deadline=100.0, budget=1e9,
+                               strategy="time")
+        batch = gridlets(4)
+        broker.submit_all(batch)
+        sim.run()
+        fast_jobs = [j for j in broker.completed if j.site == "R1"]
+        assert len(fast_jobs) >= 3  # fast resource absorbs most work
+
+    def test_cost_opt_prefers_cheap_resource(self):
+        sim = Simulator()
+        grid, offers = priced_grid(sim)
+        broker = EconomyBroker(sim, grid, offers, deadline=1e9, budget=1e9,
+                               strategy="cost")
+        batch = gridlets(4)
+        broker.submit_all(batch)
+        sim.run()
+        assert all(j.site == "R0" for j in broker.completed)
+
+    def test_cost_opt_escalates_when_deadline_tight(self):
+        sim = Simulator()
+        grid, offers = priced_grid(sim)
+        # cheap site runs 100 MI in 1s each, FCFS; deadline 2.5 allows only
+        # ~2 jobs there; the rest must use the expensive fast site
+        broker = EconomyBroker(sim, grid, offers, deadline=2.5, budget=1e9,
+                               strategy="cost")
+        batch = gridlets(6)
+        broker.submit_all(batch)
+        sim.run()
+        sites = {j.site for j in broker.completed}
+        assert "R1" in sites and "R0" in sites
+        assert broker.deadline_misses == 0
+
+    def test_budget_exhaustion_fails_jobs(self):
+        sim = Simulator()
+        grid, offers = priced_grid(sim, specs=((100.0, 1, 1.0),))
+        # each 100 MI job costs 100; budget covers two
+        broker = EconomyBroker(sim, grid, offers, deadline=1e9, budget=250.0,
+                               strategy="cost")
+        batch = gridlets(5)
+        broker.submit_all(batch)
+        sim.run()
+        assert len(broker.completed) == 2
+        assert len(broker.failed) == 3
+        assert broker.spent <= 250.0
+
+    def test_infeasible_deadline_fails_everything(self):
+        sim = Simulator()
+        grid, offers = priced_grid(sim)
+        broker = EconomyBroker(sim, grid, offers, deadline=0.01, budget=1e9)
+        batch = gridlets(3)
+        broker.submit_all(batch)
+        sim.run()
+        assert broker.completion_rate == 0.0
+        assert all(j.state is JobState.FAILED for j in batch)
+
+    def test_spend_accounting(self):
+        sim = Simulator()
+        grid, offers = priced_grid(sim, specs=((100.0, 4, 2.0),))
+        broker = EconomyBroker(sim, grid, offers, deadline=1e9, budget=1e9)
+        broker.submit_all(gridlets(3, length=50.0))
+        sim.run()
+        assert broker.spent == pytest.approx(3 * 50.0 * 2.0)
+
+    def test_summary_shape(self):
+        sim = Simulator()
+        grid, offers = priced_grid(sim)
+        broker = EconomyBroker(sim, grid, offers, deadline=100.0, budget=1e6)
+        broker.submit_all(gridlets(2))
+        sim.run()
+        s = broker.summary()
+        assert s["completed"] == 2 and s["spent"] > 0
+
+
+class TestValidation:
+    def test_bad_parameters(self):
+        sim = Simulator()
+        grid, offers = priced_grid(sim)
+        with pytest.raises(ConfigurationError):
+            EconomyBroker(sim, grid, offers, deadline=0.0, budget=10.0)
+        with pytest.raises(ConfigurationError):
+            EconomyBroker(sim, grid, offers, deadline=10.0, budget=-1.0)
+        with pytest.raises(ConfigurationError):
+            EconomyBroker(sim, grid, offers, deadline=10.0, budget=10.0,
+                          strategy="magic")
+        with pytest.raises(ConfigurationError):
+            EconomyBroker(sim, grid, [], deadline=10.0, budget=10.0)
+
+    def test_duplicate_offer_rejected(self):
+        sim = Simulator()
+        grid, offers = priced_grid(sim)
+        with pytest.raises(ConfigurationError, match="duplicate"):
+            EconomyBroker(sim, grid, list(offers) + [offers[0]],
+                          deadline=10.0, budget=10.0)
+
+    def test_negative_price_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ResourceOffer("X", -1.0)
+
+
+@settings(max_examples=20, deadline=None)
+@given(budget=st.floats(min_value=0.0, max_value=2000.0),
+       n=st.integers(min_value=1, max_value=10),
+       strategy=st.sampled_from(["time", "cost"]))
+def test_property_never_overspends(budget, n, strategy):
+    """The broker invariant: realized spend <= budget, always."""
+    sim = Simulator()
+    grid, offers = priced_grid(sim)
+    broker = EconomyBroker(sim, grid, offers, deadline=1e9, budget=budget,
+                           strategy=strategy)
+    broker.submit_all(gridlets(n))
+    sim.run()
+    assert broker.spent <= budget + 1e-9
+    assert len(broker.completed) + len(broker.failed) == n

@@ -1,0 +1,30 @@
+"""Smoke tests: every example must run clean (they self-assert their shapes).
+
+Examples are documentation that executes; letting them rot defeats their
+purpose, so CI runs each in a subprocess exactly as a user would.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+ALL_EXAMPLES = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_directory_is_populated():
+    assert len(ALL_EXAMPLES) >= 10
+    assert "quickstart.py" in ALL_EXAMPLES
+
+
+@pytest.mark.parametrize("script", ALL_EXAMPLES)
+def test_example_runs_clean(script):
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script)],
+        capture_output=True, text=True, timeout=600)
+    assert proc.returncode == 0, (
+        f"{script} failed:\n--- stdout ---\n{proc.stdout[-2000:]}"
+        f"\n--- stderr ---\n{proc.stderr[-2000:]}")
+    assert proc.stdout.strip(), f"{script} printed nothing"

@@ -1,0 +1,137 @@
+"""Tests for failure injection: crash/repair semantics and work loss."""
+
+import pytest
+
+from repro.core import ConfigurationError, Simulator
+from repro.hosts import SpaceSharedMachine, TimeSharedMachine
+from repro.hosts.failures import MachineFailureInjector
+
+
+class TestFailRepairSemantics:
+    def test_fail_evicts_running_jobs(self):
+        sim = Simulator()
+        m = SpaceSharedMachine(sim, pes=2, rating=100.0)
+        m.submit(1000.0)
+        m.submit(1000.0)
+        assert m.fail() == 2
+        assert m.failed and m.running == 0 and m.queued == 2
+
+    def test_fail_idempotent(self):
+        sim = Simulator()
+        m = SpaceSharedMachine(sim, rating=100.0)
+        m.fail()
+        assert m.fail() == 0
+        assert m.failures == 1
+
+    def test_submissions_queue_during_downtime(self):
+        sim = Simulator()
+        m = SpaceSharedMachine(sim, rating=100.0)
+        m.fail()
+        run = m.submit(100.0)
+        assert m.queued == 1 and run.started is None
+        m.repair()
+        assert m.running == 1
+
+    def test_checkpoint_preserves_completed_work(self):
+        sim = Simulator()
+        m = SpaceSharedMachine(sim, rating=100.0, restart_policy="checkpoint")
+        run = m.submit(1000.0)  # 10s of work
+        sim.schedule(5.0, m.fail)    # crash halfway
+        sim.schedule(7.0, m.repair)  # 2s outage
+        sim.run()
+        # 5s done + 2s down + 5s remaining = 12s
+        assert run.finished == pytest.approx(12.0)
+
+    def test_restart_loses_work(self):
+        sim = Simulator()
+        m = SpaceSharedMachine(sim, rating=100.0, restart_policy="restart")
+        run = m.submit(1000.0)
+        sim.schedule(5.0, m.fail)
+        sim.schedule(7.0, m.repair)
+        sim.run()
+        # 5s lost + 2s down + full 10s again = 17s
+        assert run.finished == pytest.approx(17.0)
+
+    def test_checkpoint_beats_restart(self):
+        """The checkpointing argument, as an inequality."""
+        def total(policy):
+            sim = Simulator()
+            m = SpaceSharedMachine(sim, rating=100.0, restart_policy=policy)
+            runs = [m.submit(500.0) for _ in range(3)]
+            sim.schedule(3.0, m.fail)
+            sim.schedule(4.0, m.repair)
+            sim.run()
+            return max(r.finished for r in runs)
+
+        assert total("checkpoint") < total("restart")
+
+    def test_evicted_jobs_restart_in_submission_order(self):
+        sim = Simulator()
+        m = SpaceSharedMachine(sim, pes=2, rating=100.0)
+        r1 = m.submit(1000.0)
+        r2 = m.submit(1000.0)
+        r3 = m.submit(1000.0)  # queued
+        sim.schedule(1.0, m.fail)
+        sim.schedule(2.0, m.repair)
+        sim.run()
+        # evicted r1, r2 go back before the never-started r3
+        assert r3.finished > max(r1.finished, r2.finished)
+
+    def test_failure_during_idle_harmless(self):
+        sim = Simulator()
+        m = SpaceSharedMachine(sim, rating=100.0)
+        assert m.fail() == 0
+        m.repair()
+        run = m.submit(100.0)
+        sim.run()
+        assert run.finished == pytest.approx(1.0)
+
+    def test_bad_restart_policy(self):
+        with pytest.raises(ConfigurationError):
+            SpaceSharedMachine(Simulator(), restart_policy="pray")
+
+
+class TestInjector:
+    def test_cycles_and_availability(self):
+        sim = Simulator(seed=3)
+        m = SpaceSharedMachine(sim, rating=100.0)
+        inj = MachineFailureInjector(sim, m, sim.stream("fail"),
+                                     mtbf=50.0, mttr=10.0, horizon=1000.0)
+        sim.schedule_at(1500.0, lambda: None)  # pin a horizon to observe
+        sim.run()
+        crashes = inj.monitor.counter("crashes").count
+        assert crashes > 5
+        # availability should be in the MTBF/(MTBF+MTTR) ballpark ≈ 0.83
+        assert 0.6 < inj.availability < 0.98
+
+    def test_jobs_complete_despite_failures(self):
+        sim = Simulator(seed=4)
+        m = SpaceSharedMachine(sim, pes=2, rating=100.0)
+        MachineFailureInjector(sim, m, sim.stream("fail"),
+                               mtbf=30.0, mttr=5.0, horizon=2000.0)
+        runs = [m.submit(500.0) for _ in range(10)]
+        sim.run()
+        assert all(r.finished is not None for r in runs)
+        assert m.completed == 10
+
+    def test_failures_extend_turnaround(self):
+        def makespan(inject):
+            sim = Simulator(seed=5)
+            m = SpaceSharedMachine(sim, pes=1, rating=100.0)
+            if inject:
+                MachineFailureInjector(sim, m, sim.stream("fail"),
+                                       mtbf=4.0, mttr=8.0, horizon=500.0)
+            runs = [m.submit(300.0) for _ in range(5)]
+            sim.run()
+            return max(r.finished for r in runs)
+
+        assert makespan(True) > makespan(False)
+
+    def test_validation(self):
+        sim = Simulator()
+        m = SpaceSharedMachine(sim)
+        with pytest.raises(ConfigurationError):
+            MachineFailureInjector(sim, m, sim.stream("f"), mtbf=0.0)
+        ts = TimeSharedMachine(sim)
+        with pytest.raises(ConfigurationError):
+            MachineFailureInjector(sim, ts, sim.stream("f"))

@@ -1,0 +1,115 @@
+"""Cross-cutting integration invariants spanning kernel, substrates, models."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Simulator
+from repro.core.queues import QUEUE_FACTORIES
+from repro.network import FlowNetwork, Topology
+from repro.simulators import ChicagoSimModel, GridSimModel, OptorSimModel
+from repro.taxonomy import DesKind, QueueStructure, classify_engine
+
+
+class TestQueueStructureInvariance:
+    """Taxonomy claim made testable: the event-list structure is an engine
+    *optimization* — it must never change model-level results."""
+
+    @pytest.mark.parametrize("kind", sorted(QUEUE_FACTORIES))
+    def test_optorsim_results_identical_across_queues(self, kind):
+        def run(queue):
+            sim = Simulator(queue=queue, seed=13)
+            model = OptorSimModel(sim, optimizer="lru", n_sites=3,
+                                  n_files=8, files_per_job=3)
+            model.run(n_jobs=15)
+            return [(j.id, round(j.finished, 9), j.site,
+                     j.remote_reads) for j in model.completed]
+
+        assert run(kind) == run("heap")
+
+    @pytest.mark.parametrize("kind", ["linear", "calendar", "ladder"])
+    def test_gridsim_summary_identical_across_queues(self, kind):
+        def run(queue):
+            sim = Simulator(queue=queue, seed=17)
+            return GridSimModel(sim).run_dbc(n_gridlets=15, deadline=500.0,
+                                             budget=1e6, strategy="time")
+
+        a, b = run(kind), run("heap")
+        assert a["spent"] == b["spent"]
+        assert a["makespan"] == pytest.approx(b["makespan"])
+
+
+class TestDeterminismEndToEnd:
+    def test_same_seed_same_trajectory(self):
+        def run(seed):
+            sim = Simulator(seed=seed)
+            model = ChicagoSimModel(sim, n_sites=3, n_datasets=5,
+                                    job_policy="data-present",
+                                    data_policy="push")
+            model.run(n_jobs=20)
+            return [(j.id, j.finished, j.site) for j in model.completed]
+
+        assert run(5) == run(5)
+        assert run(5) != run(6)
+
+
+class TestEngineClassificationOfModels:
+    def test_model_sims_classify_as_event_driven(self):
+        for queue, expect in (("heap", QueueStructure.TREE),
+                              ("calendar", QueueStructure.CALENDAR),
+                              ("linear", QueueStructure.LINEAR)):
+            sim = Simulator(queue=queue, seed=1)
+            OptorSimModel(sim, n_sites=2, n_files=4)  # builds on this engine
+            info = classify_engine(sim)
+            assert info["des_kind"] is DesKind.EVENT_DRIVEN
+            assert info["queue_structure"] is expect
+
+
+class TestCatalogDiskInvariant:
+    """After any mixed run, the replica catalog and the disks must agree."""
+
+    @pytest.mark.parametrize("data_policy", ["none", "push"])
+    def test_chicagosim_catalog_matches_disks(self, data_policy):
+        sim = Simulator(seed=23)
+        model = ChicagoSimModel(sim, n_sites=4, n_datasets=8,
+                                job_policy="random", data_policy=data_policy,
+                                storage=3e9)  # tight storage: evictions happen
+        model.run(n_jobs=40)
+        # 1) every catalog record is physically present
+        for fname in model.catalog.files:
+            for loc in model.catalog.locations(fname):
+                assert model.grid.site(loc).has_file(fname), (fname, loc)
+        # 2) every dataset still has at least one replica (no data loss)
+        for ds in model.datasets:
+            assert model.catalog.replica_count(ds.name) >= 1, ds.name
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    n_flows=st.integers(min_value=1, max_value=12),
+    access_bw=st.floats(min_value=10.0, max_value=1000.0),
+    bottleneck_bw=st.floats(min_value=10.0, max_value=1000.0),
+    seed=st.integers(0, 50),
+)
+def test_property_flow_capacity_conservation(n_flows, access_bw,
+                                             bottleneck_bw, seed):
+    """On any dumbbell, instantaneous link usage never exceeds capacity and
+    every transfer eventually completes."""
+    topo = Topology()
+    topo.add_link("L", "M", access_bw, 0.0)
+    topo.add_link("M", "R", bottleneck_bw, 0.0)
+    sim = Simulator(seed=seed)
+    net = FlowNetwork(sim, topo, efficiency=1.0)
+    stream = sim.stream("sizes")
+    handles = [net.transfer("L", "R", stream.uniform(10.0, 1e4))
+               for _ in range(n_flows)]
+    # check rates right after admission
+    sim.run(until=1e-6)
+    for link in topo.links:
+        used = sum(f.rate for f in net._active if link in f.links)
+        assert used <= link.bandwidth * (1 + 1e-9)
+    sim.run()
+    assert all(h.done and h.finished is not None for h in handles)
+    # aggregate throughput bounded by the bottleneck
+    total = sum(h.size for h in handles)
+    assert max(h.finished for h in handles) >= total / min(access_bw, bottleneck_bw) - 1e-6

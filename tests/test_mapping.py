@@ -1,0 +1,85 @@
+"""Tests for entity-to-context mapping policies (taxonomy: job/thread mapping)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.mapping import (
+    MAPPING_POLICIES,
+    DedicatedContextPolicy,
+    JobSpec,
+    PooledContextPolicy,
+    SharedContextPolicy,
+)
+
+POLICIES = sorted(MAPPING_POLICIES)
+
+
+def jobs_from(pairs):
+    return [JobSpec(arrival=a, duration=d, id=i) for i, (a, d) in enumerate(pairs)]
+
+
+@pytest.fixture(params=POLICIES)
+def policy(request):
+    return MAPPING_POLICIES[request.param]()
+
+
+class TestSemantics:
+    def test_single_job(self, policy):
+        res = policy.run(jobs_from([(0.0, 5.0)]), capacity=1)
+        assert res.completions == {0: 5.0}
+
+    def test_sequential_backlog(self, policy):
+        res = policy.run(jobs_from([(0.0, 5.0), (0.0, 5.0)]), capacity=1)
+        assert res.completions[0] == 5.0
+        assert res.completions[1] == 10.0
+
+    def test_parallel_servers(self, policy):
+        res = policy.run(jobs_from([(0.0, 5.0), (0.0, 5.0)]), capacity=2)
+        assert res.completions == {0: 5.0, 1: 5.0}
+
+    def test_idle_gap(self, policy):
+        res = policy.run(jobs_from([(0.0, 1.0), (10.0, 1.0)]), capacity=1)
+        assert res.completions == {0: 1.0, 1: 11.0}
+
+    def test_makespan(self, policy):
+        res = policy.run(jobs_from([(0.0, 3.0), (1.0, 3.0)]), capacity=1)
+        assert res.makespan == 6.0  # job1 waits until t=3, finishes at 6
+
+
+class TestEquivalence:
+    def test_all_policies_identical_completions(self):
+        jobs = jobs_from([(0.0, 4.0), (1.0, 2.0), (1.5, 6.0), (8.0, 1.0), (8.0, 3.0)])
+        results = {name: MAPPING_POLICIES[name]().run(jobs, capacity=2).completions
+                   for name in POLICIES}
+        ref = results["shared"]
+        for name, comp in results.items():
+            assert comp == ref, f"{name} diverged from shared-context reference"
+
+    def test_overhead_ordering(self):
+        """Dedicated contexts cost strictly more kernel events than shared."""
+        jobs = jobs_from([(float(i), 2.0) for i in range(100)])
+        shared = SharedContextPolicy().run(jobs, capacity=4)
+        dedicated = DedicatedContextPolicy().run(jobs, capacity=4)
+        pooled = PooledContextPolicy().run(jobs, capacity=4)
+        assert shared.kernel_events < dedicated.kernel_events
+        assert shared.kernel_events < pooled.kernel_events
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    pairs=st.lists(st.tuples(st.floats(min_value=0, max_value=50),
+                             st.floats(min_value=0.01, max_value=10)),
+                   min_size=1, max_size=25),
+    capacity=st.integers(min_value=1, max_value=3),
+)
+def test_property_policies_agree(pairs, capacity):
+    """All three mappings compute identical completion schedules."""
+    jobs = jobs_from(pairs)
+    ref = SharedContextPolicy().run(jobs, capacity=capacity).completions
+    ded = DedicatedContextPolicy().run(jobs, capacity=capacity).completions
+    poo = PooledContextPolicy().run(jobs, capacity=capacity).completions
+    for comp in (ded, poo):
+        assert set(comp) == set(ref)
+        for k in ref:
+            assert comp[k] == pytest.approx(ref[k], abs=1e-9)

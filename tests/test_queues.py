@@ -1,0 +1,241 @@
+"""Conformance + property tests for all five event-list structures.
+
+Every structure must dequeue identical orders on identical inputs — the
+binary heap is the reference.  Hypothesis drives randomized schedules
+including cancellations and interleaved push/pop.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Event, Priority
+from repro.core.queues import QUEUE_FACTORIES, make_queue
+
+ALL_KINDS = sorted(QUEUE_FACTORIES)
+
+
+def make_events(times, priority=Priority.NORMAL):
+    return [Event(t, seq, lambda: None, priority=priority) for seq, t in enumerate(times)]
+
+
+@pytest.fixture(params=ALL_KINDS)
+def kind(request):
+    return request.param
+
+
+class TestBasics:
+    def test_empty_pop_returns_none(self, kind):
+        assert make_queue(kind).pop() is None
+
+    def test_empty_peek_returns_none(self, kind):
+        assert make_queue(kind).peek() is None
+
+    def test_bool_false_when_empty(self, kind):
+        assert not make_queue(kind)
+
+    def test_single_roundtrip(self, kind):
+        q = make_queue(kind)
+        [e] = make_events([3.0])
+        q.push(e)
+        assert q.peek() is e
+        assert q.pop() is e
+        assert q.pop() is None
+
+    def test_sorted_output(self, kind):
+        q = make_queue(kind)
+        times = [5.0, 1.0, 3.0, 2.0, 4.0, 0.5, 9.9, 3.3]
+        for e in make_events(times):
+            q.push(e)
+        out = [q.pop().time for _ in range(len(times))]
+        assert out == sorted(times)
+
+    def test_fifo_among_equal_times(self, kind):
+        q = make_queue(kind)
+        events = make_events([1.0] * 10)
+        for e in events:
+            q.push(e)
+        assert [q.pop().seq for _ in range(10)] == list(range(10))
+
+    def test_priority_orders_within_timestamp(self, kind):
+        q = make_queue(kind)
+        lo = Event(1.0, 1, lambda: None, priority=Priority.LOW)
+        hi = Event(1.0, 2, lambda: None, priority=Priority.URGENT)
+        q.push(lo)
+        q.push(hi)
+        assert q.pop() is hi
+        assert q.pop() is lo
+
+    def test_len_counts_records(self, kind):
+        q = make_queue(kind)
+        for e in make_events([1, 2, 3]):
+            q.push(e)
+        assert len(q) == 3
+
+    def test_cancelled_events_skipped(self, kind):
+        q = make_queue(kind)
+        events = make_events([1.0, 2.0, 3.0])
+        for e in events:
+            q.push(e)
+        events[0].cancel()
+        events[2].cancel()
+        assert q.pop() is events[1]
+        assert q.pop() is None
+
+    def test_live_len_excludes_cancelled(self, kind):
+        q = make_queue(kind)
+        events = make_events([1.0, 2.0, 3.0, 4.0])
+        for e in events:
+            q.push(e)
+        events[1].cancel()
+        assert q.live_len() == 3
+
+    def test_peek_skips_cancelled_head(self, kind):
+        q = make_queue(kind)
+        events = make_events([1.0, 2.0])
+        for e in events:
+            q.push(e)
+        events[0].cancel()
+        assert q.peek() is events[1]
+
+    def test_drain_returns_sorted_live(self, kind):
+        q = make_queue(kind)
+        events = make_events([4.0, 1.0, 3.0, 2.0])
+        for e in events:
+            q.push(e)
+        events[2].cancel()
+        assert [e.time for e in q.drain()] == [1.0, 2.0, 4.0]
+        assert q.pop() is None
+
+    def test_make_queue_unknown_kind(self):
+        with pytest.raises(KeyError, match="unknown event queue"):
+            make_queue("fibonacci")
+
+
+class TestInterleaved:
+    def test_push_pop_interleaving(self, kind):
+        q = make_queue(kind)
+        e1, e2, e3 = make_events([10.0, 20.0, 15.0])
+        q.push(e1)
+        q.push(e2)
+        assert q.pop() is e1
+        q.push(e3)
+        assert q.pop() is e3
+        assert q.pop() is e2
+
+    def test_reinsert_earlier_after_pops(self, kind):
+        """Calendar/ladder structures must cope with inserts behind the scan."""
+        q = make_queue(kind)
+        far = make_events([100.0, 200.0, 300.0])
+        for e in far:
+            q.push(e)
+        assert q.pop() is far[0]
+        near = Event(150.0, 99, lambda: None)
+        q.push(near)
+        assert q.pop() is near
+        assert q.pop() is far[1]
+        assert q.pop() is far[2]
+
+    def test_large_monotone_burst(self, kind):
+        """Hold-model style: pop one, push one slightly later, many times."""
+        q = make_queue(kind)
+        for e in make_events([float(i) for i in range(64)]):
+            q.push(e)
+        t_prev = -1.0
+        seq = 1000
+        for step in range(500):
+            e = q.pop()
+            assert e.time >= t_prev
+            t_prev = e.time
+            seq += 1
+            q.push(Event(e.time + 17.3, seq, lambda: None))
+        assert len(q) == 64
+
+
+@st.composite
+def schedules(draw):
+    """A list of operations: (push t) or (pop) or (cancel idx)."""
+    n = draw(st.integers(min_value=1, max_value=120))
+    ops = []
+    for _ in range(n):
+        ops.append(draw(st.sampled_from(["push", "push", "push", "pop", "cancel"])))
+    times = draw(st.lists(
+        st.floats(min_value=0.0, max_value=1e6, allow_nan=False, allow_infinity=False),
+        min_size=n, max_size=n))
+    return list(zip(ops, times))
+
+
+@settings(max_examples=60, deadline=None)
+@given(schedule=schedules(), kind=st.sampled_from([k for k in ALL_KINDS if k != "heap"]))
+def test_property_equivalence_with_heap(schedule, kind):
+    """Any structure dequeues exactly what the reference heap dequeues."""
+    ref = make_queue("heap")
+    q = make_queue(kind)
+    seq = 0
+    pushed = []
+    ref_out, out = [], []
+    for op, t in schedule:
+        if op == "push":
+            seq += 1
+            a = Event(t, seq, lambda: None)
+            b = Event(t, seq, lambda: None)
+            pushed.append((a, b))
+            ref.push(a)
+            q.push(b)
+        elif op == "pop":
+            ra, rb = ref.pop(), q.pop()
+            ref_out.append(None if ra is None else ra.sort_key)
+            out.append(None if rb is None else rb.sort_key)
+        else:  # cancel a random still-known pair (deterministic: first live)
+            for a, b in pushed:
+                if not a.cancelled:
+                    a.cancel()
+                    b.cancel()
+                    break
+    # Drain both completely.
+    while True:
+        ra, rb = ref.pop(), q.pop()
+        ref_out.append(None if ra is None else ra.sort_key)
+        out.append(None if rb is None else rb.sort_key)
+        if ra is None and rb is None:
+            break
+    assert out == ref_out
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    times=st.lists(st.floats(min_value=0, max_value=1e3, allow_nan=False,
+                             allow_infinity=False), min_size=1, max_size=200),
+    kind=st.sampled_from(ALL_KINDS),
+)
+def test_property_total_order(times, kind):
+    """Popping everything yields non-decreasing sort keys."""
+    q = make_queue(kind)
+    for seq, t in enumerate(times):
+        q.push(Event(t, seq, lambda: None))
+    prev = None
+    for _ in range(len(times)):
+        e = q.pop()
+        assert e is not None
+        if prev is not None:
+            assert prev <= e.sort_key
+        prev = e.sort_key
+    assert q.pop() is None
+
+
+class TestCalendarInternals:
+    def test_resize_grows_buckets(self):
+        from repro.core.queues import CalendarQueue
+
+        q = CalendarQueue(initial_buckets=2, initial_width=1.0)
+        for seq, t in enumerate(range(100)):
+            q.push(Event(float(t), seq, lambda: None))
+        assert q.nbuckets > 2
+
+    def test_skew_diagnostic(self):
+        from repro.core.queues import CalendarQueue
+
+        q = CalendarQueue()
+        for seq in range(50):
+            q.push(Event(0.001 * seq, seq, lambda: None))
+        assert q.max_bucket_occupancy() >= 1

@@ -1,0 +1,324 @@
+"""Tests for Resource / Store / Container primitives."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    AnyOf,
+    CapacityError,
+    ConfigurationError,
+    Container,
+    Process,
+    Resource,
+    ResourceError,
+    Simulator,
+    Store,
+)
+
+
+def run_station(discipline, arrivals, capacity=1):
+    """Run jobs (arrival, duration, priority/key) through a station.
+
+    Returns list of (job_index, start_time, end_time).
+    """
+    sim = Simulator()
+    res = Resource(sim, capacity=capacity, discipline=discipline)
+    log = []
+
+    def job(i, dur, prio):
+        req = yield res.request(priority=prio, key=dur, owner=i)
+        start = sim.now
+        yield dur
+        res.release(req)
+        log.append((i, start, sim.now))
+
+    for i, (at, dur, prio) in enumerate(arrivals):
+        sim.schedule_at(at, Process, sim, job, i, dur, prio)
+    sim.run()
+    return sorted(log, key=lambda r: (r[1], r[0]))
+
+
+class TestResourceBasics:
+    def test_immediate_grant_when_free(self):
+        sim = Simulator()
+        res = Resource(sim, capacity=2)
+        granted = []
+
+        def body():
+            req = yield res.request()
+            granted.append(sim.now)
+            yield 1.0
+            res.release(req)
+
+        Process(sim, body)
+        sim.run()
+        assert granted == [0.0]
+        assert res.available == 2
+
+    def test_fifo_service_order(self):
+        log = run_station("fifo", [(0.0, 10.0, 0), (1.0, 1.0, 0), (2.0, 1.0, 0)])
+        # arrivals are served strictly in arrival order
+        assert [r[0] for r in log] == [0, 1, 2]
+        assert log[1][1] == 10.0 and log[2][1] == 11.0
+
+    def test_lifo_serves_newest_first(self):
+        log = run_station("lifo", [(0.0, 10.0, 0), (1.0, 1.0, 0), (2.0, 1.0, 0)])
+        # job 0 occupies server; at t=10 the *newest* waiter (job 2) starts
+        assert [r[0] for r in log] == [0, 2, 1]
+
+    def test_priority_discipline(self):
+        log = run_station("priority", [(0.0, 10.0, 5), (1.0, 1.0, 9), (2.0, 1.0, 1)])
+        # job 2 (prio 1) beats job 1 (prio 9) despite arriving later
+        assert [r[0] for r in log] == [0, 2, 1]
+
+    def test_sjf_discipline(self):
+        log = run_station("sjf", [(0.0, 10.0, 0), (1.0, 7.0, 0), (2.0, 2.0, 0)])
+        assert [r[0] for r in log] == [0, 2, 1]
+
+    def test_multi_server_parallelism(self):
+        log = run_station("fifo", [(0.0, 5.0, 0), (0.0, 5.0, 0), (0.0, 5.0, 0)],
+                          capacity=2)
+        ends = sorted(r[2] for r in log)
+        assert ends == [5.0, 5.0, 10.0]
+
+    def test_utilization_statistic(self):
+        sim = Simulator()
+        res = Resource(sim, capacity=1)
+
+        def body():
+            req = yield res.request()
+            yield 5.0
+            res.release(req)
+
+        Process(sim, body)
+        sim.run(until=10.0)
+        assert res.utilization(10.0) == pytest.approx(0.5)
+
+    def test_wait_time_tally(self):
+        sim = Simulator()
+        res = Resource(sim, capacity=1)
+
+        def body(expected_wait):
+            req = yield res.request()
+            assert req.waited == pytest.approx(expected_wait)
+            yield 4.0
+            res.release(req)
+
+        Process(sim, body, 0.0)
+        Process(sim, body, 4.0)
+        sim.run()
+        assert res.monitor.tally("wait_time").mean == pytest.approx(2.0)
+
+
+class TestResourceErrors:
+    def test_request_exceeding_capacity(self):
+        sim = Simulator()
+        res = Resource(sim, capacity=2)
+        with pytest.raises(CapacityError):
+            res.request(amount=3)
+
+    def test_double_release(self):
+        sim = Simulator()
+        res = Resource(sim, capacity=1)
+        reqs = []
+
+        def body():
+            req = yield res.request()
+            reqs.append(req)
+            yield 1.0
+            res.release(req)
+
+        Process(sim, body)
+        sim.run()
+        with pytest.raises(ResourceError, match="already released"):
+            res.release(reqs[0])
+
+    def test_release_foreign_request(self):
+        sim = Simulator()
+        r1 = Resource(sim, capacity=1, name="r1")
+        r2 = Resource(sim, capacity=1, name="r2")
+        req = r1.request()
+        with pytest.raises(ResourceError, match="another resource"):
+            r2.release(req)
+
+    def test_release_ungranted(self):
+        sim = Simulator()
+        res = Resource(sim, capacity=1)
+        res.request()          # occupies the server
+        queued = res.request()  # still queued
+        with pytest.raises(ResourceError, match="never granted"):
+            res.release(queued)
+
+    def test_bad_configuration(self):
+        sim = Simulator()
+        with pytest.raises(ConfigurationError):
+            Resource(sim, capacity=0)
+        with pytest.raises(ConfigurationError):
+            Resource(sim, discipline="random")
+        with pytest.raises(ConfigurationError):
+            Resource(sim, discipline="fifo", preemptive=True)
+
+
+class TestBalkingAndReneging:
+    def test_queue_limit_balks(self):
+        sim = Simulator()
+        res = Resource(sim, capacity=1, queue_limit=1)
+        res.request()            # served
+        res.request()            # queued (1/1)
+        balked = res.request()   # over the limit -> balks
+        assert res.balked == 1
+        assert balked.done and balked.result is None
+
+    def test_cancel_reneges_queued_request(self):
+        sim = Simulator()
+        res = Resource(sim, capacity=1)
+        first = res.request()
+        second = res.request()
+        res.cancel(second)
+        res.release(first)
+        assert not second.done  # never granted
+        assert res.queue_length == 0
+
+
+class TestPreemption:
+    def test_high_priority_revokes_lowest_holder(self):
+        sim = Simulator()
+        res = Resource(sim, capacity=1, discipline="priority", preemptive=True)
+        log = []
+
+        def low():
+            req = yield res.request(priority=10)
+            done = sim.schedule(50.0, lambda: None)  # placeholder work
+            idx, _ = yield AnyOf([req.preempted])
+            log.append(("low-preempted", sim.now))
+            done.cancel()
+
+        def high():
+            yield 5.0
+            req = yield res.request(priority=1)
+            log.append(("high-granted", sim.now))
+            yield 1.0
+            res.release(req)
+
+        Process(sim, low)
+        Process(sim, high)
+        sim.run()
+        assert ("low-preempted", 5.0) in log
+        assert ("high-granted", 5.0) in log
+
+    def test_equal_priority_does_not_preempt(self):
+        sim = Simulator()
+        res = Resource(sim, capacity=1, discipline="priority", preemptive=True)
+        r1 = res.request(priority=5)
+        r2 = res.request(priority=5)
+        assert r1.done and not r2.done
+
+
+class TestStore:
+    def test_put_then_get(self):
+        sim = Simulator()
+        store = Store(sim)
+        got = []
+
+        def consumer():
+            item = yield store.get()
+            got.append((sim.now, item))
+
+        Process(sim, consumer)
+        sim.schedule(3.0, store.put, "widget")
+        sim.run()
+        assert got == [(3.0, "widget")]
+
+    def test_get_blocks_until_put(self):
+        sim = Simulator()
+        store = Store(sim)
+        token = store.get()
+        assert not token.done
+        store.put(1)
+        assert token.done and token.result == 1
+
+    def test_fifo_item_order(self):
+        sim = Simulator()
+        store = Store(sim)
+        store.put("a")
+        store.put("b")
+        assert store.get().result == "a"
+        assert store.get().result == "b"
+
+    def test_bounded_capacity_blocks_put(self):
+        sim = Simulator()
+        store = Store(sim, capacity=1)
+        t1 = store.put("x")
+        t2 = store.put("y")
+        assert t1.done and not t2.done
+        store.get()
+        assert t2.done
+
+    def test_occupancy_stat(self):
+        sim = Simulator()
+        store = Store(sim)
+        store.put(1)
+        assert store.items == 1
+        store.get()
+        assert store.items == 0
+
+
+class TestContainer:
+    def test_take_blocks_until_level(self):
+        sim = Simulator()
+        tank = Container(sim, capacity=100.0, initial=10.0)
+        token = tank.take(30.0)
+        assert not token.done
+        tank.add(25.0)
+        assert token.done
+        assert tank.level == pytest.approx(5.0)
+
+    def test_add_blocks_at_capacity(self):
+        sim = Simulator()
+        tank = Container(sim, capacity=10.0, initial=8.0)
+        token = tank.add(5.0)
+        assert not token.done
+        tank.take(4.0)
+        assert token.done and tank.level == pytest.approx(9.0)
+
+    def test_fifo_no_overtake(self):
+        """A large queued take blocks later small takes (no starvation)."""
+        sim = Simulator()
+        tank = Container(sim, capacity=100.0, initial=5.0)
+        big = tank.take(50.0)
+        small = tank.take(1.0)
+        tank.add(10.0)  # 15 total: not enough for big; small must still wait
+        assert not big.done and not small.done
+        tank.add(40.0)
+        assert big.done and small.done
+
+    def test_validation(self):
+        sim = Simulator()
+        with pytest.raises(ConfigurationError):
+            Container(sim, capacity=0.0)
+        with pytest.raises(ConfigurationError):
+            Container(sim, capacity=10.0, initial=11.0)
+        tank = Container(sim, capacity=10.0)
+        with pytest.raises(ConfigurationError):
+            tank.take(0.0)
+        with pytest.raises(CapacityError):
+            tank.take(11.0)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.tuples(st.floats(min_value=0, max_value=100),
+                          st.floats(min_value=0.01, max_value=10)),
+                min_size=1, max_size=40),
+       st.integers(min_value=1, max_value=4))
+def test_property_fifo_conservation(jobs, capacity):
+    """Every job is served exactly once; nobody starts before arriving."""
+    arrivals = [(at, dur, 0) for at, dur in jobs]
+    log = run_station("fifo", arrivals, capacity=capacity)
+    assert len(log) == len(jobs)
+    assert {r[0] for r in log} == set(range(len(jobs)))
+    by_id = {r[0]: r for r in log}
+    for i, (at, dur, _) in enumerate(arrivals):
+        _, start, end = by_id[i]
+        assert start >= at - 1e-9
+        assert end == pytest.approx(start + dur)

@@ -1,0 +1,275 @@
+"""Tests for the taxonomy: schema, registry, rules, comparison, reports.
+
+The registry assertions here double as the E1/Table-1 reproduction: every
+Section-4 prose claim about the six simulators must hold in the records.
+"""
+
+import pytest
+
+from repro.core import ConfigurationError, Simulator, TimeDrivenSimulator
+from repro.core.trace import TraceRecord
+from repro.core.tracedriven import TraceDrivenSimulator
+from repro.taxonomy import (
+    SURVEYED,
+    Behavior,
+    Component,
+    DesKind,
+    Execution,
+    InputKind,
+    Mechanics,
+    Motivation,
+    QueueStructure,
+    REPRO_RECORD,
+    SimulatorRecord,
+    SpecMode,
+    SystemKind,
+    TimeBase,
+    UiKind,
+    ValidationKind,
+    all_records,
+    check_consistency,
+    classify_engine,
+    complementarity,
+    coverage,
+    diff,
+    record,
+    render_ascii,
+    render_csv,
+    render_markdown,
+    similarity,
+    survey_report,
+    table1_rows,
+    validate_registry,
+)
+
+
+class TestRegistryMatchesPaperClaims:
+    """Each test encodes one sentence of Section 4 (or 3)."""
+
+    def test_six_surveyed_simulators_in_order(self):
+        assert [r.name for r in SURVEYED] == [
+            "Bricks", "OptorSim", "SimGrid", "GridSim", "ChicagoSim", "MONARC 2"]
+
+    def test_bricks_lacks_runtime_components(self):
+        # "there are also exceptions (Bricks for example)"
+        assert not record("Bricks").runtime_components
+        assert all(r.runtime_components for r in SURVEYED if r.name != "Bricks")
+
+    def test_bricks_is_scheduling_motivated_with_replica_extension(self):
+        m = record("Bricks").motivations
+        assert Motivation.SCHEDULING in m and Motivation.DATA_REPLICATION in m
+
+    def test_optorsim_emphasis_is_replication(self):
+        assert Motivation.DATA_REPLICATION in record("OptorSim").motivations
+
+    def test_simgrid_has_no_middleware_support(self):
+        # "SimGrid does not provide any of the system support facilities"
+        assert Component.MIDDLEWARE not in record("SimGrid").components
+        for name in ("Bricks", "OptorSim", "GridSim", "ChicagoSim", "MONARC 2"):
+            assert Component.MIDDLEWARE in record(name).components
+
+    def test_simgrid_validated_mathematically(self):
+        # Casanova 2001: analytic comparison
+        assert record("SimGrid").validation is ValidationKind.MATHEMATICAL
+
+    def test_validation_only_for_bricks_monarc_simgrid(self):
+        # "To this date only a few simulators present validation studies
+        #  (e.g. Bricks, MONARC and SimGrid)"
+        with_validation = {r.name for r in SURVEYED
+                           if r.validation is not ValidationKind.NONE}
+        assert with_validation == {"Bricks", "SimGrid", "MONARC 2"}
+
+    def test_gridsim_is_economy_focused(self):
+        assert Motivation.ECONOMY in record("GridSim").motivations
+        assert SystemKind.P2P in record("GridSim").systems
+
+    def test_visual_design_interfaces_gridsim_and_monarc(self):
+        # "Examples of simulators providing visual design interfaces are
+        #  GridSim and MONARC 2"
+        visual = {r.name for r in SURVEYED if SpecMode.VISUAL in r.spec_modes}
+        assert visual == {"GridSim", "MONARC 2"}
+
+    def test_chicagosim_generator_input_only(self):
+        # "ChicagoSim accepts only input data generators"
+        assert record("ChicagoSim").input_kinds == frozenset({InputKind.GENERATOR})
+
+    def test_monarc_accepts_both_input_kinds(self):
+        # "MONARC 2 accepts both types of input"
+        assert record("MONARC 2").input_kinds == frozenset(
+            {InputKind.GENERATOR, InputKind.MONITORED})
+
+    def test_chicagosim_built_on_parsec_language(self):
+        assert SpecMode.LANGUAGE in record("ChicagoSim").spec_modes
+
+    def test_all_surveyed_are_discrete_event_probabilistic(self):
+        # §2: "all simulators that address Grid-related problems use both
+        # modeling frameworks" — and all are stochastic DES
+        for r in SURVEYED:
+            assert r.mechanics is Mechanics.DISCRETE_EVENT
+            assert r.behavior is Behavior.PROBABILISTIC
+            assert r.time_base is TimeBase.DISCRETE
+
+    def test_no_pure_distributed_surveyed_simulator(self):
+        # "There are no pure distributed simulators"; MONARC 2's threading
+        # is the closest, everything else is centralized.
+        centralized = [r for r in SURVEYED if r.execution is Execution.CENTRALIZED]
+        assert len(centralized) == 5
+
+    def test_registry_is_internally_consistent(self):
+        assert validate_registry(all_records()) == []
+
+    def test_record_lookup_case_insensitive(self):
+        assert record("gridsim").name == "GridSim"
+        with pytest.raises(KeyError):
+            record("ns-3")
+
+
+class TestConsistencyRules:
+    def base_kwargs(self):
+        r = record("GridSim")
+        return {f: getattr(r, f) for f in (
+            "name", "year", "motivations", "systems", "components", "behavior",
+            "time_base", "mechanics", "des_kinds", "execution",
+            "queue_structure", "entity_mapping", "spec_modes", "input_kinds",
+            "design_ui", "execution_ui", "output_analysis", "validation",
+            "runtime_components")}
+
+    def test_deprecated_execution_flagged(self):
+        kw = self.base_kwargs()
+        kw["execution"] = Execution.SERIAL
+        bad = SimulatorRecord(**kw)
+        assert any(v.rule == "deprecated-execution" for v in check_consistency(bad))
+
+    def test_trace_driven_needs_monitored_input(self):
+        kw = self.base_kwargs()
+        kw["des_kinds"] = frozenset({DesKind.TRACE_DRIVEN})
+        kw["input_kinds"] = frozenset({InputKind.GENERATOR})
+        bad = SimulatorRecord(**kw)
+        assert any(v.rule == "trace-needs-monitored-input"
+                   for v in check_consistency(bad))
+
+    def test_des_needs_discrete_time(self):
+        kw = self.base_kwargs()
+        kw["time_base"] = TimeBase.CONTINUOUS
+        bad = SimulatorRecord(**kw)
+        assert any(v.rule == "des-discrete-time" for v in check_consistency(bad))
+
+    def test_scheduling_needs_hosts(self):
+        kw = self.base_kwargs()
+        kw["components"] = frozenset({Component.NETWORK})
+        kw["motivations"] = frozenset({Motivation.SCHEDULING})
+        bad = SimulatorRecord(**kw)
+        rules = {v.rule for v in check_consistency(bad)}
+        assert "scheduling-needs-hosts" in rules
+
+    def test_visual_spec_needs_gui(self):
+        kw = self.base_kwargs()
+        kw["spec_modes"] = frozenset({SpecMode.VISUAL, SpecMode.LIBRARY})
+        kw["design_ui"] = UiKind.TEXTUAL
+        bad = SimulatorRecord(**kw)
+        assert any(v.rule == "visual-spec-needs-gui"
+                   for v in check_consistency(bad))
+
+    def test_empty_axis_rejected_at_construction(self):
+        kw = self.base_kwargs()
+        kw["motivations"] = frozenset()
+        with pytest.raises(ConfigurationError):
+            SimulatorRecord(**kw)
+
+
+class TestEngineClassifier:
+    def test_event_driven_heap(self):
+        info = classify_engine(Simulator(queue="heap"))
+        assert info["des_kind"] is DesKind.EVENT_DRIVEN
+        assert info["queue_structure"] is QueueStructure.TREE
+
+    def test_time_driven_calendar(self):
+        info = classify_engine(TimeDrivenSimulator(tick=1.0, queue="calendar"))
+        assert info["des_kind"] is DesKind.TIME_DRIVEN
+        assert info["queue_structure"] is QueueStructure.CALENDAR
+
+    def test_trace_driven_linear(self):
+        sim = TraceDrivenSimulator([TraceRecord(1.0, "s", "k", 0.0)],
+                                   queue="linear")
+        info = classify_engine(sim)
+        assert info["des_kind"] is DesKind.TRACE_DRIVEN
+        assert info["queue_structure"] is QueueStructure.LINEAR
+
+    def test_repro_record_matches_live_capabilities(self):
+        """The dog-food check: our registry row reflects the actual kernel."""
+        assert DesKind.EVENT_DRIVEN in REPRO_RECORD.des_kinds
+        assert DesKind.TIME_DRIVEN in REPRO_RECORD.des_kinds
+        assert DesKind.TRACE_DRIVEN in REPRO_RECORD.des_kinds
+        from repro.core.queues import QUEUE_FACTORIES
+
+        assert {"linear", "heap", "splay", "calendar", "ladder"} <= set(QUEUE_FACTORIES)
+
+
+class TestComparison:
+    def test_diff_symmetry_and_content(self):
+        d = diff(record("SimGrid"), record("GridSim"))
+        axes = {x.axis for x in d}
+        assert "motivations" in axes  # scheduling vs economy+scheduling
+        assert "components" in axes   # middleware missing in SimGrid
+
+    def test_self_similarity_is_one(self):
+        r = record("Bricks")
+        assert similarity(r, r) == pytest.approx(1.0)
+
+    def test_similarity_bounded_and_symmetric(self):
+        a, b = record("OptorSim"), record("ChicagoSim")
+        s = similarity(a, b)
+        assert 0.0 <= s <= 1.0
+        assert s == pytest.approx(similarity(b, a))
+
+    def test_related_pairs_more_similar(self):
+        """Data-grid simulators resemble each other more than SimGrid."""
+        data_pair = similarity(record("OptorSim"), record("ChicagoSim"))
+        cross = similarity(record("OptorSim"), record("SimGrid"))
+        assert data_pair > cross
+
+    def test_coverage_marks_explored_space(self):
+        cov = coverage(list(SURVEYED))
+        assert cov["validation"]["validation vs analytic model"] is True
+        assert cov["runtime_components"] == {"yes": True, "no": True}
+        # nobody surveyed uses an O(1) documented event list
+        assert cov["queue_structure"]["calendar / ladder O(1)"] is False
+
+    def test_complementarity_increases_with_repro(self):
+        """Adding this framework covers cells the six leave empty."""
+        base = complementarity(list(SURVEYED))
+        extended = complementarity(all_records())
+        assert 0.0 < base < 1.0
+        assert extended > base
+
+
+class TestReports:
+    def test_ascii_table_has_all_simulators(self):
+        out = render_ascii()
+        for name in ("Bricks", "OptorSim", "SimGrid", "GridSim",
+                     "ChicagoSim", "MONARC 2"):
+            assert name in out
+
+    def test_markdown_table_shape(self):
+        md = render_markdown()
+        lines = md.strip().splitlines()
+        assert lines[0].startswith("| Axis |")
+        assert len(lines) == 2 + 17  # header + separator + 17 axes
+
+    def test_csv_parses_with_stdlib(self):
+        import csv
+        import io
+
+        rows = list(csv.reader(io.StringIO(render_csv())))
+        assert rows[0][0] == "Axis"
+        assert len(rows) == 18
+        assert all(len(r) == 7 for r in rows)
+
+    def test_survey_report_includes_provenance(self):
+        rpt = survey_report()
+        assert "Provenance notes" in rpt
+        assert "MonALISA" in rpt  # MONARC note survives rendering
+
+    def test_table1_rows_custom_records(self):
+        rows = table1_rows([record("Bricks")])
+        assert rows[0] == ["Axis", "Bricks"]

@@ -1,0 +1,133 @@
+"""Tests for topology construction and routing."""
+
+import pytest
+
+from repro.core import ConfigurationError, RoutingError, TopologyError
+from repro.network import (
+    GBPS,
+    Topology,
+    dumbbell,
+    eu_datagrid,
+    ring,
+    star,
+    tier_tree,
+)
+
+
+class TestConstruction:
+    def test_add_link_creates_endpoints(self):
+        t = Topology()
+        t.add_link("a", "b", 100.0, 0.01)
+        assert set(t.nodes) == {"a", "b"}
+
+    def test_symmetric_links_by_default(self):
+        t = Topology()
+        t.add_link("a", "b", 100.0)
+        assert t.link("a", "b").bandwidth == 100.0
+        assert t.link("b", "a").bandwidth == 100.0
+
+    def test_asymmetric_link(self):
+        t = Topology()
+        t.add_link("a", "b", 100.0, symmetric=False)
+        t.link("a", "b")
+        with pytest.raises(TopologyError):
+            t.link("b", "a")
+
+    def test_bad_bandwidth_rejected(self):
+        t = Topology()
+        with pytest.raises(ConfigurationError):
+            t.add_link("a", "b", 0.0)
+        with pytest.raises(ConfigurationError):
+            t.add_link("a", "b", 10.0, latency=-1.0)
+
+
+class TestRouting:
+    def topo(self):
+        t = Topology()
+        t.add_link("a", "b", 100.0, 0.01)
+        t.add_link("b", "c", 50.0, 0.01)
+        t.add_link("a", "c", 10.0, 0.1)  # direct but slow path
+        return t
+
+    def test_route_minimizes_latency(self):
+        t = self.topo()
+        assert t.route("a", "c") == ["a", "b", "c"]
+
+    def test_self_route(self):
+        t = self.topo()
+        assert t.route("a", "a") == ["a"]
+        assert t.route_links("a", "a") == []
+        assert t.bottleneck_bandwidth("a", "a") == float("inf")
+
+    def test_path_latency_sums(self):
+        t = self.topo()
+        assert t.path_latency("a", "c") == pytest.approx(0.02)
+
+    def test_bottleneck_bandwidth(self):
+        t = self.topo()
+        assert t.bottleneck_bandwidth("a", "c") == 50.0
+
+    def test_unknown_node_raises(self):
+        t = self.topo()
+        with pytest.raises(TopologyError):
+            t.route("a", "zz")
+
+    def test_no_route_raises(self):
+        t = Topology()
+        t.add_node("island")
+        t.add_link("a", "b", 10.0)
+        with pytest.raises(RoutingError):
+            t.route("a", "island")
+
+    def test_cache_invalidated_on_mutation(self):
+        t = self.topo()
+        assert t.route("a", "c") == ["a", "b", "c"]
+        t.add_link("a", "c", 100.0, 0.001)  # new fast direct edge
+        assert t.route("a", "c") == ["a", "c"]
+
+
+class TestFactories:
+    def test_star_routes_through_center(self):
+        t = star("hub", ["s1", "s2", "s3"], 100.0)
+        assert t.route("s1", "s2") == ["s1", "hub", "s2"]
+
+    def test_star_requires_leaves(self):
+        with pytest.raises(ConfigurationError):
+            star("hub", [], 100.0)
+
+    def test_ring_connectivity(self):
+        t = ring(["a", "b", "c", "d"], 10.0)
+        assert t.route("a", "b") == ["a", "b"]
+        assert len(t.route("a", "c")) == 3  # two hops either way
+
+    def test_ring_minimum_size(self):
+        with pytest.raises(ConfigurationError):
+            ring(["a", "b"], 10.0)
+
+    def test_dumbbell_bottleneck(self):
+        t = dumbbell(["l1", "l2"], ["r1"], access_bw=100.0, bottleneck_bw=10.0)
+        assert t.bottleneck_bandwidth("l1", "r1") == 10.0
+        assert t.route("l1", "r1") == ["l1", "Lhub", "Rhub", "r1"]
+
+    def test_tier_tree_structure(self):
+        t = tier_tree([2, 3], [10 * GBPS, 1 * GBPS])
+        assert t.has_node("T0")
+        assert t.has_node("T1.0") and t.has_node("T1.1")
+        assert t.has_node("T2.0.0") and t.has_node("T2.1.2")
+        # T2 leaves reach T0 through their T1 parent
+        assert t.route("T2.1.2", "T0") == ["T2.1.2", "T1.1", "T0"]
+        # 1 + 2 + 6 nodes
+        assert len(t.nodes) == 9
+
+    def test_tier_tree_validates_lengths(self):
+        with pytest.raises(ConfigurationError):
+            tier_tree([2], [1.0, 2.0])
+
+    def test_eu_datagrid_default_sites(self):
+        t = eu_datagrid()
+        assert t.has_node("CERN") and t.has_node("WAN")
+        assert t.route("CERN", "RAL") == ["CERN", "WAN", "RAL"]
+
+    def test_eu_datagrid_custom_sites(self):
+        t = eu_datagrid(["X", "Y"])
+        assert t.route("X", "Y") == ["X", "WAN", "Y"]
