@@ -1,0 +1,233 @@
+"""Kernel hot-path benchmark — fused single-call dispatch vs. peek+pop.
+
+The engine's dispatch loop fires events via one
+:meth:`~repro.core.queues.base.EventQueue.pop_if_le` call per iteration.
+Before this protocol existed, every firing paid for a ``peek()`` *and* a
+``pop()`` — two find-min operations, which for sweep-based structures
+(calendar, ladder) meant two full bucket sweeps per event.  This module
+measures both protocols on identical workloads and seeds, per queue
+structure, and is the source of the repo's tracked perf baseline
+``BENCH_kernel.json`` (refresh it with ``benchmarks/run_kernel_baseline.py``).
+
+Scenarios
+---------
+``drain``
+    Pre-schedule N exponential-gap events, then time ``run()`` alone: the
+    purest dispatch-protocol measurement (no scheduling cost inside the
+    timed region).
+``hold``
+    Classic hold model — every firing schedules one successor — timed over
+    a fixed horizon; dispatch + scheduling mixed, the realistic hot loop.
+``cancel``
+    Hold model where each firing also schedules a far-future timer and
+    cancels an older one, leaving ~half the queue dead: exercises the
+    cancelled-record purge policy.
+
+Because the two protocols are timed on separate simulator instances with
+the same seed, event order is identical — asserted by the trace-equivalence
+test in ``tests/test_hotpath_equivalence.py``.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from collections import deque
+
+from repro.core.engine import Simulator
+from repro.core.errors import SchedulingError, StopSimulation
+
+KINDS = ["linear", "heap", "splay", "calendar", "ladder"]
+
+#: scenario sizes for a full baseline refresh (the smoke path divides these)
+DRAIN_EVENTS = 50_000
+HOLD_POPULATION = 5_000
+HOLD_HORIZON = 10.0
+CANCEL_POPULATION = 2_000
+CANCEL_HORIZON = 10.0
+
+
+class LegacyPeekPopSimulator(Simulator):
+    """The pre-change engine loop: one ``peek()`` plus one ``pop()`` per
+    firing.  Kept verbatim as the measurement baseline so future PRs can
+    still quantify the protocol gap on current queue structures.
+
+    The pop is replicated inline exactly as the seed's ``EventQueue.pop``
+    did it — ``_pop_any()`` in a loop with an ``event.cancelled`` *property*
+    check per record — because that queue-layer cost was part of the
+    pre-change protocol too (today's ``pop`` reads the slot directly).  The
+    only addition is the ``_dead`` bookkeeping the new exact counters
+    require, which runs solely on cancelled records.
+    """
+
+    def run(self, until: float | None = None, max_events: int | None = None) -> None:
+        if self._running:
+            raise SchedulingError("run() is not reentrant")
+        self._running = True
+        self._stopped = False
+        self._stop_reason = ""
+        budget = math.inf if max_events is None else int(max_events)
+        queue = self._queue
+        try:
+            while not self._stopped:
+                ev = queue.peek()
+                if ev is None:
+                    break
+                if until is not None and ev.time > until:
+                    break
+                while True:  # seed-faithful EventQueue.pop()
+                    popped = queue._pop_any()
+                    if popped is None or not popped.cancelled:
+                        break
+                    queue._dead -= 1  # keep the new exact counters honest
+                assert popped is ev
+                popped._on_cancel = None
+                self._now = ev.time
+                self._events_executed += 1
+                if self.pre_event_hooks:
+                    for hook in self.pre_event_hooks:
+                        hook(ev)
+                try:
+                    ev.fire()
+                except StopSimulation as sig:
+                    self._stopped = True
+                    self._stop_reason = sig.reason or "StopSimulation"
+                if self._events_executed >= budget:
+                    raise SchedulingError(
+                        f"max_events budget of {max_events} exhausted at t={self._now}"
+                    )
+            if until is not None and not self._stopped and self._now < until:
+                self._now = until
+        finally:
+            self._running = False
+
+
+def _noop() -> None:
+    pass
+
+
+# -- timed scenarios: build outside the timer, time run() only ---------------
+
+def drain_scenario(sim_cls, kind: str, events: int) -> tuple[float, int]:
+    sim = sim_cls(queue=kind, seed=11)
+    stream = sim.stream("drain")
+    for _ in range(events):
+        sim.schedule(stream.exponential(1.0), _noop)
+    t0 = time.perf_counter()
+    sim.run()
+    return time.perf_counter() - t0, sim.events_executed
+
+
+def hold_scenario(sim_cls, kind: str, population: int,
+                  horizon: float) -> tuple[float, int]:
+    sim = sim_cls(queue=kind, seed=11)
+    stream = sim.stream("hold")
+
+    def fire() -> None:
+        sim.schedule(stream.exponential(1.0), fire)
+
+    for _ in range(population):
+        sim.schedule(stream.exponential(1.0), fire)
+    t0 = time.perf_counter()
+    sim.run(until=horizon)
+    return time.perf_counter() - t0, sim.events_executed
+
+
+def cancel_scenario(sim_cls, kind: str, population: int,
+                    horizon: float) -> tuple[float, int]:
+    sim = sim_cls(queue=kind, seed=11)
+    stream = sim.stream("cancel")
+    timers: deque = deque()
+
+    def fire() -> None:
+        sim.schedule(stream.exponential(1.0), fire)
+        # Timer churn: park a far-future timeout, tear down an older one —
+        # the classic pattern that litters the queue with dead records.
+        timers.append(sim.schedule(100.0 + stream.exponential(10.0), _noop))
+        if len(timers) > 4:
+            timers.popleft().cancel()
+
+    for _ in range(population):
+        sim.schedule(stream.exponential(1.0), fire)
+    t0 = time.perf_counter()
+    sim.run(until=horizon)
+    return time.perf_counter() - t0, sim.events_executed
+
+
+SCENARIOS = {
+    "drain": lambda cls, kind, scale: drain_scenario(
+        cls, kind, max(1, int(DRAIN_EVENTS * scale))),
+    "hold": lambda cls, kind, scale: hold_scenario(
+        cls, kind, max(1, int(HOLD_POPULATION * scale)), HOLD_HORIZON),
+    "cancel": lambda cls, kind, scale: cancel_scenario(
+        cls, kind, max(1, int(CANCEL_POPULATION * scale)), CANCEL_HORIZON),
+}
+
+
+def measure(kind: str, scenario: str, repeats: int = 3,
+            scale: float = 1.0) -> dict:
+    """Best-of-*repeats* events/sec for both protocols, interleaved.
+
+    Interleaving fused/legacy runs (rather than timing all of one then all
+    of the other) keeps slow drift on a shared machine from biasing the
+    ratio; best-of-N discards transient stalls.
+    """
+    run = SCENARIOS[scenario]
+    fused_best = legacy_best = 0.0
+    fused_events = legacy_events = 0
+    for _ in range(repeats):
+        dt, n = run(Simulator, kind, scale)
+        fused_best = max(fused_best, n / dt)
+        fused_events = n
+        dt, n = run(LegacyPeekPopSimulator, kind, scale)
+        legacy_best = max(legacy_best, n / dt)
+        legacy_events = n
+    assert fused_events == legacy_events, (
+        f"{kind}/{scenario}: protocols fired different event counts "
+        f"({fused_events} vs {legacy_events}) — determinism broken")
+    return {
+        "events": fused_events,
+        "fused_eps": round(fused_best, 1),
+        "legacy_eps": round(legacy_best, 1),
+        "speedup": round(fused_best / legacy_best, 3),
+    }
+
+
+def collect_baseline(repeats: int = 3, scale: float = 1.0,
+                     kinds: list[str] | None = None,
+                     scenarios: list[str] | None = None) -> dict:
+    """Full fused-vs-legacy sweep; the payload of ``BENCH_kernel.json``."""
+    results: dict[str, dict] = {}
+    for kind in kinds or KINDS:
+        results[kind] = {
+            scenario: measure(kind, scenario, repeats=repeats, scale=scale)
+            for scenario in (scenarios or list(SCENARIOS))
+        }
+    return {
+        "benchmark": "kernel_hotpath",
+        "protocol": "pop_if_le (fused) vs peek+pop (legacy)",
+        "params": {"repeats": repeats, "scale": scale,
+                   "drain_events": int(DRAIN_EVENTS * scale),
+                   "hold_population": int(HOLD_POPULATION * scale),
+                   "cancel_population": int(CANCEL_POPULATION * scale)},
+        "results": results,
+        # headline metric: dispatch-protocol speedup on the pure drain loop
+        "headline_speedup": {
+            kind: results[kind]["drain"]["speedup"] for kind in results
+        },
+    }
+
+
+# -- pytest smoke: the harness itself must not rot ---------------------------
+
+def test_hotpath_harness_smoke():
+    """Tiny-scale sweep: every scenario runs, fires identically under both
+    protocols, and produces sane numbers.  (Speedup magnitudes are asserted
+    only in the full baseline refresh, not here — CI boxes are too noisy.)"""
+    baseline = collect_baseline(repeats=1, scale=0.02,
+                                kinds=["heap", "calendar"])
+    for kind, scenarios in baseline["results"].items():
+        for scenario, row in scenarios.items():
+            assert row["events"] > 0, (kind, scenario)
+            assert row["fused_eps"] > 0 and row["legacy_eps"] > 0
+    assert set(baseline["headline_speedup"]) == {"heap", "calendar"}

@@ -149,6 +149,11 @@ class Simulator:
     def run(self, until: float | None = None, max_events: int | None = None) -> None:
         """Execute events until the queue drains, *until* passes, or stop.
 
+        The dispatch loop touches the event list exactly **once** per firing
+        via :meth:`~repro.core.queues.base.EventQueue.pop_if_le` — delete-min
+        and the horizon check are fused, so structures whose find-min is a
+        sweep (calendar, ladder) pay for it once instead of twice.
+
         Parameters
         ----------
         until:
@@ -156,40 +161,66 @@ class Simulator:
             is then advanced to *until* itself (so time-average statistics
             cover the full horizon even if the last event fired earlier).
         max_events:
-            Safety valve for runaway models; raises after this many firings.
+            Safety valve for runaway models; raises after this many firings
+            *within this call* (each ``run()`` gets a fresh budget).
         """
         if self._running:
             raise SchedulingError("run() is not reentrant")
         self._running = True
         self._stopped = False
         self._stop_reason = ""
-        budget = math.inf if max_events is None else int(max_events)
+        horizon = math.inf if until is None else until
+        pop_if_le = self._queue.pop_if_le
+        hooks = self.pre_event_hooks
+        fired = 0
         try:
-            while not self._stopped:
-                ev = self._queue.peek()
-                if ev is None:
-                    break
-                if until is not None and ev.time > until:
-                    break
-                popped = self._queue.pop()
-                assert popped is ev
-                self._now = ev.time
-                self._events_executed += 1
-                if self.pre_event_hooks:
-                    for hook in self.pre_event_hooks:
-                        hook(ev)
-                try:
-                    ev.fire()
-                except StopSimulation as sig:
-                    self._stopped = True
-                    self._stop_reason = sig.reason or "StopSimulation"
-                if self._events_executed >= budget:
-                    raise SchedulingError(
-                        f"max_events budget of {max_events} exhausted at t={self._now}"
-                    )
+            if max_events is None:
+                # Fast path: no budget accounting.  The callback is invoked
+                # directly — pop_if_le never returns a cancelled event, so
+                # Event.fire()'s liveness check (and its extra call frame)
+                # is redundant here.  `hooks` aliases the live list, so
+                # hooks registered mid-run still take effect.  Firings are
+                # counted in a local and published in the finally block:
+                # `events_executed` is a between-runs statistic, not a
+                # mid-event one.
+                while not self._stopped:
+                    ev = pop_if_le(horizon)
+                    if ev is None:
+                        break
+                    self._now = ev.time
+                    fired += 1
+                    if hooks:
+                        for hook in hooks:
+                            hook(ev)
+                    try:
+                        ev.fn(*ev.args, **ev.kwargs)
+                    except StopSimulation as sig:
+                        self._stopped = True
+                        self._stop_reason = sig.reason or "StopSimulation"
+            else:
+                budget = int(max_events)
+                while not self._stopped:
+                    ev = pop_if_le(horizon)
+                    if ev is None:
+                        break
+                    self._now = ev.time
+                    fired += 1
+                    if hooks:
+                        for hook in hooks:
+                            hook(ev)
+                    try:
+                        ev.fn(*ev.args, **ev.kwargs)
+                    except StopSimulation as sig:
+                        self._stopped = True
+                        self._stop_reason = sig.reason or "StopSimulation"
+                    if fired >= budget:
+                        raise SchedulingError(
+                            f"max_events budget of {max_events} exhausted at t={self._now}"
+                        )
             if until is not None and not self._stopped and self._now < until:
                 self._now = until
         finally:
+            self._events_executed += fired
             self._running = False
 
     def step(self) -> bool:

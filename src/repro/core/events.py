@@ -13,10 +13,13 @@ runs with the same seed produce byte-identical event streams (taxonomy axis
 *behavior = deterministic/probabilistic* — determinism is a kernel guarantee,
 randomness enters only through :mod:`repro.core.rng` streams).
 
-Cancellation is *lazy*: :meth:`Event.cancel` flags the record and every queue
-implementation discards flagged events at pop time.  This gives O(1) cancel
-on every structure, at the cost of dead records occupying queue slots until
-their timestamp comes up.
+Cancellation is *lazy with eager purging*: :meth:`Event.cancel` flags the
+record and every queue implementation discards flagged events at pop time,
+giving O(1) cancel on every structure.  To stop dead records from occupying
+queue slots until their timestamp comes up, the owning queue registers a
+cancel hook (``_on_cancel``) at push time; the hook maintains a per-queue
+dead-record counter that triggers threshold compaction (see
+:meth:`repro.core.queues.base.EventQueue.compact`).
 """
 
 from __future__ import annotations
@@ -63,7 +66,8 @@ class Event:
         Optional human-readable tag; shows up in traces and ``repr``.
     """
 
-    __slots__ = ("time", "priority", "seq", "fn", "args", "kwargs", "label", "_cancelled")
+    __slots__ = ("time", "priority", "seq", "fn", "args", "kwargs", "label",
+                 "_cancelled", "_on_cancel")
 
     def __init__(
         self,
@@ -83,6 +87,9 @@ class Event:
         self.kwargs = kwargs or {}
         self.label = label
         self._cancelled = False
+        #: set by the owning queue at push time, cleared at pop time; lets
+        #: the queue keep an exact dead-record count for eager purging.
+        self._on_cancel: Callable[[], None] | None = None
 
     # -- ordering -----------------------------------------------------------
 
@@ -111,12 +118,19 @@ class Event:
         return self._cancelled
 
     def cancel(self) -> None:
-        """Mark the event dead.  O(1); queues skip dead events at pop time.
+        """Mark the event dead.  O(1) amortized; queues skip dead events at
+        pop time and purge them eagerly once enough accumulate.
 
         Cancelling twice is a no-op (idempotent), matching how models
         typically tear down timers defensively.
         """
+        if self._cancelled:
+            return
         self._cancelled = True
+        cb = self._on_cancel
+        if cb is not None:
+            self._on_cancel = None
+            cb()
 
     def fire(self) -> Any:
         """Invoke the callback.  Raises if the event was cancelled."""

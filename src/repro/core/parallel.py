@@ -221,7 +221,13 @@ class LogicalProcess:
         return t
 
     def advance(self, horizon: float) -> int:
-        """Deliver + execute everything with time <= horizon.  Returns count."""
+        """Deliver + execute everything with time <= horizon.  Returns count.
+
+        Executes on the kernel's fused single-touch dispatch
+        (:meth:`~repro.core.queues.base.EventQueue.pop_if_le` inside
+        ``sim.run``); the ``peek_time`` guard is a true non-mutating O(1)
+        head read, so an idle LP costs one comparison per round.
+        """
         before = self.sim.events_executed
         self.deliver_pending(horizon)
         # Delivering may schedule new local events; loop until quiescent
@@ -316,9 +322,11 @@ class CMBExecutor:
                 # exactly the floor could still be preempted by a message.
                 floor = lp.input_floor()
                 safe = min(floor - 1e-9 if math.isfinite(floor) else floor, until)
-                if lp.next_event_time() <= safe:
-                    if lp.advance(safe) > 0:
-                        progressed = True
+                # Fused check-and-execute: advance() is a no-op returning 0
+                # when nothing is pending at or below `safe`, so the old
+                # separate next_event_time() pre-scan is redundant work.
+                if lp.advance(safe) > 0:
+                    progressed = True
                 # Null message: the LP's future sends happen no earlier than
                 # max(local clock, min(next local event, input floor)).
                 lower = min(max(lp.sim.now, min(lp.next_event_time(), floor)),

@@ -10,9 +10,32 @@ distribution.  This subpackage makes that claim testable: five structures
 with different asymptotics share one interface, and every engine accepts any
 of them.
 
-All structures implement *lazy deletion*: :meth:`EventQueue.pop` silently
-discards events whose :attr:`~repro.core.events.Event.cancelled` flag is set,
-so cancellation is O(1) regardless of structure.
+Dispatch protocol
+-----------------
+Engines advance via :meth:`EventQueue.pop_if_le`, the *single-call* hot-path
+operation: "remove and return the earliest live event at or before the
+horizon, else leave the queue untouched".  One call per firing replaces the
+historical ``peek()`` + ``pop()`` pair, which forced every structure to
+locate its minimum twice per event (for :class:`~.calendar.CalendarQueue`
+that meant two bucket sweeps per firing).  ``peek()`` remains available and
+is guaranteed *non-mutating* with respect to live events (it may purge
+cancelled records it walks over).
+
+Cancellation policy
+-------------------
+All structures implement *lazy deletion with eager purging*:
+
+* :meth:`EventQueue.pop` / :meth:`pop_if_le` silently discard events whose
+  :attr:`~repro.core.events.Event.cancelled` flag is set, so cancellation is
+  O(1) regardless of structure;
+* at push time the queue registers itself on the event's ``_on_cancel``
+  hook, maintaining an exact per-queue dead-record counter (``dead_len``);
+* once at least :attr:`EventQueue.compact_min` records are dead *and* they
+  make up at least half of the stored records, :meth:`EventQueue.compact`
+  structurally removes them — so cancellation-heavy models stop paying for
+  ghost events in every subsequent sweep, resize, and comparison.
+
+The exact dead counter also makes ``live_len()`` and ``__bool__`` O(1).
 
 Implementations
 ---------------
@@ -45,27 +68,103 @@ class EventQueue(abc.ABC):
 
     * :meth:`pop` returns live events in non-decreasing
       :attr:`~repro.core.events.Event.sort_key` order, exactly once each.
+    * :meth:`pop_if_le` behaves like :meth:`pop` but returns ``None`` —
+      leaving the head in place — when the earliest live event lies beyond
+      the horizon.
+    * :meth:`peek` never reorders or removes live events (purging cancelled
+      records is allowed).
     * Cancelled events are never returned and do not count toward
       :meth:`live_len`.
     * ``len(q)`` may include cancelled-but-unpurged events (it is the raw
-      slot count); :meth:`live_len` is exact but may be O(n).
+      slot count); :meth:`live_len` is exact and O(1).
     """
+
+    #: Dead records required before :meth:`compact` may trigger; compaction
+    #: also requires the dead to be at least half of all stored records, so
+    #: the amortized cost per cancellation stays O(1).
+    compact_min = 64
+
+    def __init__(self) -> None:
+        self._dead = 0
+        # Bound once: pushed events get this as their cancel hook, so a
+        # cancellation costs one attribute read + one call, no dict lookups.
+        self._cancel_cb = self._note_cancelled
+
+    # -- structure-specific primitives ---------------------------------------
 
     @abc.abstractmethod
     def push(self, event: Event) -> None:
-        """Insert *event*.  The queue never mutates the event."""
+        """Insert *event*.
+
+        Implementations must route the event through :meth:`_register` (or
+        replicate its two-line body) so the dead-record counter stays exact.
+        """
 
     @abc.abstractmethod
     def _pop_any(self) -> Optional[Event]:
         """Remove and return the minimum event, live or cancelled.
 
-        Returns ``None`` when empty.  Subclasses implement only this;
-        the lazy-deletion loop lives in :meth:`pop`.
+        Returns ``None`` when empty.  The lazy-deletion loop lives in
+        :meth:`pop`.
+        """
+
+    @abc.abstractmethod
+    def peek(self) -> Optional[Event]:
+        """Return (without removing) the earliest live event, or ``None``.
+
+        Must be non-mutating with respect to live events; purging cancelled
+        records encountered on the way is allowed (and keeps the dead
+        counter exact via :meth:`_note_purged`).
         """
 
     @abc.abstractmethod
     def __len__(self) -> int:
         """Raw number of stored records (may include cancelled events)."""
+
+    # -- dead-record accounting ----------------------------------------------
+
+    def _register(self, event: Event) -> None:
+        """Hook *event* into this queue's cancellation accounting."""
+        if event._cancelled:
+            self._dead += 1
+        else:
+            event._on_cancel = self._cancel_cb
+
+    def _note_cancelled(self) -> None:
+        """Cancel hook: count the dead record, compacting past threshold."""
+        self._dead += 1
+        if self._dead >= self.compact_min and self._dead * 2 >= len(self):
+            self.compact()
+
+    def _note_purged(self, n: int = 1) -> None:
+        """Record that *n* cancelled records left the structure."""
+        self._dead -= n
+
+    @property
+    def dead_len(self) -> int:
+        """Exact count of cancelled records still occupying slots."""
+        return self._dead
+
+    def compact(self) -> None:
+        """Structurally remove every cancelled record.  O(n)."""
+        self._compact()
+        self._dead = 0
+
+    def _compact(self) -> None:
+        """Default compaction: drain raw records, re-push the live ones.
+
+        Structures override with in-place filters; this fallback is correct
+        for any implementation of the primitives.
+        """
+        live = []
+        while True:
+            ev = self._pop_any()
+            if ev is None:
+                break
+            if not ev._cancelled:
+                live.append(ev)
+        for ev in live:
+            self.push(ev)
 
     # -- shared behaviour ----------------------------------------------------
 
@@ -73,26 +172,34 @@ class EventQueue(abc.ABC):
         """Remove and return the earliest *live* event, or ``None`` if empty."""
         while True:
             ev = self._pop_any()
-            if ev is None or not ev.cancelled:
+            if ev is None:
+                return None
+            if not ev._cancelled:
+                ev._on_cancel = None
                 return ev
+            self._dead -= 1
 
-    def peek(self) -> Optional[Event]:
-        """Return (without removing) the earliest live event, or ``None``.
+    def pop_if_le(self, horizon: float) -> Optional[Event]:
+        """Remove and return the earliest live event with ``time <= horizon``.
 
-        Default implementation pops then re-pushes; structures with a cheap
-        find-min override it.
+        Returns ``None`` — leaving the queue untouched — when the queue is
+        empty or its earliest live event lies beyond *horizon*.  This is the
+        engine hot-path operation: one call per firing instead of the
+        ``peek()`` + ``pop()`` pair.  Every bundled structure overrides it
+        with a fused implementation; this default composes the primitives.
         """
-        ev = self.pop()
-        if ev is not None:
-            self.push(ev)
-        return ev
+        ev = self.peek()
+        if ev is None or ev.time > horizon:
+            return None
+        return self.pop()
 
     def __bool__(self) -> bool:
-        return self.peek() is not None
+        # O(1): raw slots minus exact dead count.
+        return len(self) > self._dead
 
     def live_len(self) -> int:
-        """Exact count of live (non-cancelled) events.  May be O(n)."""
-        return sum(1 for ev in self._iter_events() if not ev.cancelled)
+        """Exact count of live (non-cancelled) events.  O(1)."""
+        return len(self) - self._dead
 
     def _iter_events(self) -> Iterator[Event]:
         """Iterate stored events in arbitrary order (for diagnostics).
@@ -105,6 +212,9 @@ class EventQueue(abc.ABC):
             ev = self._pop_any()
             if ev is None:
                 break
+            if ev._cancelled:
+                # leaves storage here; the push below re-counts it
+                self._dead -= 1
             drained.append(ev)
         for ev in drained:
             self.push(ev)
@@ -120,4 +230,4 @@ class EventQueue(abc.ABC):
             out.append(ev)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"<{type(self).__name__} len={len(self)}>"
+        return f"<{type(self).__name__} len={len(self)} dead={self._dead}>"

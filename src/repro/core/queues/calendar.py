@@ -15,9 +15,14 @@ With bucket width matched to the mean inter-event gap, each bucket holds
 O(1) events and both operations are amortized O(1).  The structure *adapts*:
 when the population doubles/halves past thresholds it resizes the bucket
 array and re-estimates the width by sampling the queue — Brown's original
-heuristic.  Heavily *skewed* event-time distributions defeat the width
-estimate and pile events into few buckets, which is exactly the "no single
-structure performs best" caveat benchmark E2 demonstrates.
+heuristic.  Resizing drops cancelled records entirely, so dead events can
+never skew the width estimate.  Heavily *skewed* event-time distributions
+defeat the width estimate and pile events into few buckets, which is exactly
+the "no single structure performs best" caveat benchmark E2 demonstrates.
+
+Hot path: :meth:`CalendarQueue.pop_if_le` performs delete-min, horizon
+check, and cancelled-head purging in **one** bucket sweep — under the old
+``peek()`` + ``pop()`` engine protocol every firing paid for two sweeps.
 """
 
 from __future__ import annotations
@@ -44,6 +49,7 @@ class CalendarQueue(EventQueue):
     """
 
     def __init__(self, initial_buckets: int = 2, initial_width: float = 1.0) -> None:
+        super().__init__()
         n = _MIN_BUCKETS
         while n < initial_buckets:
             n <<= 1
@@ -67,6 +73,10 @@ class CalendarQueue(EventQueue):
     # -- core operations -------------------------------------------------------
 
     def push(self, event: Event) -> None:
+        if event._cancelled:
+            self._dead += 1
+        else:
+            event._on_cancel = self._cancel_cb
         t = event.time
         if t < self._last_prio:
             # Insert behind the scan position (legal for a general-purpose
@@ -93,61 +103,120 @@ class CalendarQueue(EventQueue):
         if self._size > self._resize_up:
             self._resize(self._nbuckets * 2)
 
+    def _commit_pop(self, ev: Event, i: int, top: float) -> Event:
+        """Record scan state after removing *ev* from bucket *i*."""
+        self._size -= 1
+        self._last_prio = ev.time
+        self._cur_bucket = i
+        self._bucket_top = top
+        ev._on_cancel = None
+        if self._size < self._resize_down and self._nbuckets > _MIN_BUCKETS:
+            self._resize(self._nbuckets // 2)
+        return ev
+
+    def _pop_min_direct(self, horizon: float) -> Optional[Event]:
+        """Global head scan for when a whole year sweep found nothing."""
+        best_bucket: Optional[list[Event]] = None
+        for bucket in self._buckets:
+            while bucket and bucket[0]._cancelled:
+                bucket.pop(0)
+                self._size -= 1
+                self._dead -= 1
+            if bucket and (best_bucket is None
+                           or bucket[0].sort_key < best_bucket[0].sort_key):
+                best_bucket = bucket
+        if best_bucket is None:  # every record was a purged ghost
+            return None
+        ev = best_bucket[0]
+        if ev.time > horizon:
+            return None
+        best_bucket.pop(0)
+        # Move the scan to the popped event's bucket.  (Popping directly —
+        # rather than re-entering the sweep — guards against float-precision
+        # collapse when width << event times.)
+        j = int(ev.time / self._width)
+        return self._commit_pop(ev, j % self._nbuckets,
+                                max((j + 1) * self._width, ev.time))
+
     def _pop_any(self) -> Optional[Event]:
         if self._size == 0:
             return None
         i = self._cur_bucket
         top = self._bucket_top
         n = self._nbuckets
-        year = n * self._width
         # Sweep at most one full year looking at bucket heads.
         for _ in range(n):
             bucket = self._buckets[i]
             if bucket and bucket[0].time < top:
-                ev = bucket.pop(0)
-                self._size -= 1
-                self._last_prio = ev.time
-                self._cur_bucket = i
-                self._bucket_top = top
-                if self._size < self._resize_down and self._nbuckets > _MIN_BUCKETS:
-                    self._resize(self._nbuckets // 2)
-                return ev
+                return self._commit_pop(bucket.pop(0), i, top)
             i = (i + 1) % n
             top += self._width
-        # No event in the coming year: direct search for the global minimum
-        # across bucket heads, pop it in place, and move the scan there.
-        # (Popping directly — rather than re-entering the sweep — guards
-        # against float-precision collapse when width << event times.)
-        best_bucket: Optional[list[Event]] = None
-        for bucket in self._buckets:
-            if bucket and (best_bucket is None
-                           or bucket[0].sort_key < best_bucket[0].sort_key):
-                best_bucket = bucket
-        assert best_bucket is not None  # size > 0
-        ev = best_bucket.pop(0)
-        self._size -= 1
-        j = int(ev.time / self._width)
-        self._cur_bucket = j % n
-        self._bucket_top = max((j + 1) * self._width, ev.time)
-        self._last_prio = ev.time
-        if self._size < self._resize_down and self._nbuckets > _MIN_BUCKETS:
-            self._resize(self._nbuckets // 2)
-        return ev
+        # No event in the coming year: direct search for the global minimum.
+        return self._pop_min_direct(float("inf"))
 
-    def peek(self) -> Optional[Event]:
-        # Mirror _pop_any's year sweep (O(1) amortized) instead of scanning
-        # every bucket: engines peek before every pop, so a naive global
-        # scan would dominate the whole simulation (measured in E6).
+    def pop_if_le(self, horizon: float) -> Optional[Event]:
+        """Fused delete-min: one sweep covers purge + horizon check + pop."""
         if self._size == 0:
             return None
         i = self._cur_bucket
         top = self._bucket_top
         n = self._nbuckets
+        buckets = self._buckets
         for _ in range(n):
-            bucket = self._buckets[i]
-            while bucket and bucket[0].cancelled:
+            bucket = buckets[i]
+            while bucket and bucket[0]._cancelled:
                 bucket.pop(0)
                 self._size -= 1
+                self._dead -= 1
+            if bucket:
+                ev = bucket[0]
+                if ev.time < top:
+                    if ev.time > horizon:
+                        return None
+                    # _commit_pop, inlined: this branch is the engine's
+                    # per-event hot path and saves the call frame.
+                    del bucket[0]
+                    size = self._size - 1
+                    self._size = size
+                    self._last_prio = ev.time
+                    self._cur_bucket = i
+                    self._bucket_top = top
+                    ev._on_cancel = None
+                    if size < self._resize_down and n > _MIN_BUCKETS:
+                        self._resize(n // 2)
+                    return ev
+            elif self._size == 0:  # purging emptied the queue mid-sweep
+                return None
+            i = (i + 1) % n
+            top += self._width
+        return self._pop_min_direct(horizon)
+
+    def peek(self) -> Optional[Event]:
+        # Mirror the pop sweep (O(1) amortized) instead of scanning every
+        # bucket; a naive global scan would dominate small simulations.
+        # Scan state is NOT advanced — only a successful pop may move it.
+        if self._size == 0:
+            return None
+        before = self._size
+        ev = self._peek_scan()
+        if (self._size < before and self._size < self._resize_down
+                and self._nbuckets > _MIN_BUCKETS):
+            # The cancelled-head purge shrank the population below the
+            # resize-down threshold: apply the same adaptation a pop would.
+            self._resize(self._nbuckets // 2)
+            return self._peek_scan()
+        return ev
+
+    def _peek_scan(self) -> Optional[Event]:
+        i = self._cur_bucket
+        top = self._bucket_top
+        n = self._nbuckets
+        for _ in range(n):
+            bucket = self._buckets[i]
+            while bucket and bucket[0]._cancelled:
+                bucket.pop(0)
+                self._size -= 1
+                self._dead -= 1
             if bucket and bucket[0].time < top:
                 return bucket[0]
             i = (i + 1) % n
@@ -155,9 +224,10 @@ class CalendarQueue(EventQueue):
         # Nothing in the coming year: fall back to a global head scan.
         best: Optional[Event] = None
         for bucket in self._buckets:
-            while bucket and bucket[0].cancelled:
+            while bucket and bucket[0]._cancelled:
                 bucket.pop(0)
                 self._size -= 1
+                self._dead -= 1
             if bucket and (best is None or bucket[0].sort_key < best.sort_key):
                 best = bucket[0]
         return best
@@ -171,9 +241,18 @@ class CalendarQueue(EventQueue):
 
     # -- adaptation --------------------------------------------------------------
 
+    def _compact(self) -> None:
+        # A same-size resize already filters cancelled records and refreshes
+        # the width estimate from the live population.
+        self._resize(self._nbuckets)
+
     def _resize(self, new_nbuckets: int) -> None:
         new_nbuckets = max(new_nbuckets, _MIN_BUCKETS)
-        events = [ev for bucket in self._buckets for ev in bucket]
+        # Cancelled records are dropped here, never re-inserted: they would
+        # survive every resize otherwise, skewing Brown's width estimate.
+        events = [ev for bucket in self._buckets for ev in bucket
+                  if not ev._cancelled]
+        self._dead = 0
         width = self._estimate_width(events)
         start = self._last_prio
         self._size = 0
@@ -183,7 +262,7 @@ class CalendarQueue(EventQueue):
 
     def _estimate_width(self, events: list[Event]) -> float:
         """Brown's width heuristic: ~3x the mean gap of a sample near the min."""
-        live = sorted((ev.time for ev in events if not ev.cancelled))
+        live = sorted(ev.time for ev in events)
         if len(live) < 2:
             return self._init_width
         sample = live[: min(len(live), 25)]

@@ -8,7 +8,7 @@ robust choice the paper contrasts with amortized-O(1) calendar structures.
 
 from __future__ import annotations
 
-import heapq
+from heapq import heapify, heappop, heappush
 from typing import Iterator, Optional
 
 from ..events import Event
@@ -21,23 +21,50 @@ class HeapQueue(EventQueue):
     """Binary min-heap: O(log n) insert and delete-min."""
 
     def __init__(self) -> None:
+        super().__init__()
         self._heap: list[tuple[float, int, int, Event]] = []
 
     def push(self, event: Event) -> None:
-        heapq.heappush(self._heap, (event.time, event.priority, event.seq, event))
+        if event._cancelled:
+            self._dead += 1
+        else:
+            event._on_cancel = self._cancel_cb
+        heappush(self._heap, (event.time, event.priority, event.seq, event))
 
     def _pop_any(self) -> Optional[Event]:
         if not self._heap:
             return None
-        return heapq.heappop(self._heap)[3]
+        return heappop(self._heap)[3]
+
+    def pop_if_le(self, horizon: float) -> Optional[Event]:
+        heap = self._heap
+        while heap:
+            entry = heap[0]
+            ev = entry[3]
+            if ev._cancelled:
+                heappop(heap)
+                self._dead -= 1
+                continue
+            if entry[0] > horizon:
+                return None
+            heappop(heap)
+            ev._on_cancel = None
+            return ev
+        return None
 
     def peek(self) -> Optional[Event]:
-        while self._heap and self._heap[0][3].cancelled:
-            heapq.heappop(self._heap)
-        return self._heap[0][3] if self._heap else None
+        heap = self._heap
+        while heap and heap[0][3]._cancelled:
+            heappop(heap)
+            self._dead -= 1
+        return heap[0][3] if heap else None
 
     def __len__(self) -> int:
         return len(self._heap)
+
+    def _compact(self) -> None:
+        self._heap = [e for e in self._heap if not e[3]._cancelled]
+        heapify(self._heap)
 
     def _iter_events(self) -> Iterator[Event]:
         for entry in self._heap:

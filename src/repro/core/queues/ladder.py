@@ -94,6 +94,7 @@ class LadderQueue(EventQueue):
     """Three-tier (Top / Ladder / Bottom) adaptive event list."""
 
     def __init__(self) -> None:
+        super().__init__()
         self._top: list[Event] = []
         self._top_min = float("inf")
         self._top_max = float("-inf")
@@ -105,6 +106,10 @@ class LadderQueue(EventQueue):
     # -- interface ------------------------------------------------------------
 
     def push(self, event: Event) -> None:
+        if event._cancelled:
+            self._dead += 1
+        else:
+            event._on_cancel = self._cancel_cb
         t = event.time
         self._size += 1
         if t >= self._top_start:
@@ -129,13 +134,34 @@ class LadderQueue(EventQueue):
         self._size -= 1
         return self._bottom.pop().event
 
+    def pop_if_le(self, horizon: float) -> Optional[Event]:
+        bottom = self._bottom
+        while True:
+            if not bottom and self._size:
+                self._refill_bottom()
+            while bottom and bottom[-1].event._cancelled:
+                bottom.pop()
+                self._size -= 1
+                self._dead -= 1
+            if bottom:
+                ev = bottom[-1].event
+                if ev.time > horizon:
+                    return None
+                bottom.pop()
+                self._size -= 1
+                ev._on_cancel = None
+                return ev
+            if self._size == 0:
+                return None
+
     def peek(self) -> Optional[Event]:
         while True:
             if not self._bottom and self._size:
                 self._refill_bottom()
-            while self._bottom and self._bottom[-1].event.cancelled:
+            while self._bottom and self._bottom[-1].event._cancelled:
                 self._bottom.pop()
                 self._size -= 1
+                self._dead -= 1
             if self._bottom:
                 return self._bottom[-1].event
             if self._size == 0:
@@ -143,6 +169,26 @@ class LadderQueue(EventQueue):
 
     def __len__(self) -> int:
         return self._size
+
+    def _compact(self) -> None:
+        self._top = [ev for ev in self._top if not ev._cancelled]
+        if self._top:
+            self._top_min = min(ev.time for ev in self._top)
+            self._top_max = max(ev.time for ev in self._top)
+        else:
+            self._top_min = float("inf")
+            self._top_max = float("-inf")
+        for rung in self._rungs:
+            for i, bucket in enumerate(rung.buckets):
+                if bucket:
+                    rung.buckets[i] = [ev for ev in bucket
+                                       if not ev._cancelled]
+        while self._rungs and len(self._rungs[-1]) == 0:
+            self._rungs.pop()
+        self._bottom = [it for it in self._bottom
+                        if not it.event._cancelled]
+        self._size = (len(self._top) + len(self._bottom)
+                      + sum(len(r) for r in self._rungs))
 
     def _iter_events(self) -> Iterator[Event]:
         yield from self._top

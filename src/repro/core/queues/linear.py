@@ -40,9 +40,14 @@ class LinearQueue(EventQueue):
     """Time-ordered list: O(n) insert, O(1) delete-min."""
 
     def __init__(self) -> None:
+        super().__init__()
         self._items: list[_ReverseKeyed] = []
 
     def push(self, event: Event) -> None:
+        if event._cancelled:
+            self._dead += 1
+        else:
+            event._on_cancel = self._cancel_cb
         insort_right(self._items, _ReverseKeyed(event))
 
     def _pop_any(self) -> Optional[Event]:
@@ -50,14 +55,35 @@ class LinearQueue(EventQueue):
             return None
         return self._items.pop().event
 
+    def pop_if_le(self, horizon: float) -> Optional[Event]:
+        items = self._items
+        while items:
+            ev = items[-1].event
+            if ev._cancelled:
+                items.pop()
+                self._dead -= 1
+                continue
+            if ev.time > horizon:
+                return None
+            items.pop()
+            ev._on_cancel = None
+            return ev
+        return None
+
     def peek(self) -> Optional[Event]:
         # Purge cancelled tail entries, then read the minimum in place.
-        while self._items and self._items[-1].event.cancelled:
-            self._items.pop()
-        return self._items[-1].event if self._items else None
+        items = self._items
+        while items and items[-1].event._cancelled:
+            items.pop()
+            self._dead -= 1
+        return items[-1].event if items else None
 
     def __len__(self) -> int:
         return len(self._items)
+
+    def _compact(self) -> None:
+        # Filtering preserves the descending sort order.
+        self._items = [it for it in self._items if not it.event._cancelled]
 
     def _iter_events(self) -> Iterator[Event]:
         for item in self._items:

@@ -36,6 +36,7 @@ class SplayQueue(EventQueue):
     """Self-adjusting binary search tree keyed by event sort order."""
 
     def __init__(self) -> None:
+        super().__init__()
         self._root: Optional[_Node] = None
         self._size = 0
         #: cached leftmost node so repeated peeks are O(1)
@@ -84,6 +85,10 @@ class SplayQueue(EventQueue):
     # -- EventQueue interface -------------------------------------------------
 
     def push(self, event: Event) -> None:
+        if event._cancelled:
+            self._dead += 1
+        else:
+            event._on_cancel = self._cancel_cb
         node = _Node(event)
         if self._root is None:
             self._root = node
@@ -133,13 +138,46 @@ class SplayQueue(EventQueue):
             node = node.left
         return node
 
-    def peek(self) -> Optional[Event]:
-        while self._min is not None and self._min.event.cancelled:
+    def pop_if_le(self, horizon: float) -> Optional[Event]:
+        while self._min is not None and self._min.event._cancelled:
             self._pop_any()
+            self._dead -= 1
+        node = self._min
+        if node is None or node.event.time > horizon:
+            return None
+        ev = self._pop_any()
+        ev._on_cancel = None
+        return ev
+
+    def peek(self) -> Optional[Event]:
+        while self._min is not None and self._min.event._cancelled:
+            self._pop_any()
+            self._dead -= 1
         return self._min.event if self._min is not None else None
 
     def __len__(self) -> int:
         return self._size
+
+    def _compact(self) -> None:
+        # Rebuild a balanced tree from the live events in sorted order; the
+        # next splays re-adjust it to the access pattern anyway.
+        live = [ev for ev in self._iter_events() if not ev._cancelled]
+        self._size = len(live)
+        self._root = self._build(live, 0, len(live))
+        self._min = self._leftmost(self._root)
+
+    def _build(self, events: list[Event], lo: int, hi: int) -> Optional[_Node]:
+        if lo >= hi:
+            return None
+        mid = (lo + hi) // 2
+        node = _Node(events[mid])
+        node.left = self._build(events, lo, mid)
+        node.right = self._build(events, mid + 1, hi)
+        if node.left is not None:
+            node.left.parent = node
+        if node.right is not None:
+            node.right.parent = node
+        return node
 
     def _iter_events(self) -> Iterator[Event]:
         # Iterative in-order walk (recursion would overflow on long zig chains).

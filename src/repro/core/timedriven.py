@@ -94,35 +94,41 @@ class TimeDrivenSimulator(Simulator):
                 return
             until = self._latest_scheduled
         budget = math.inf if max_events is None else int(max_events)
+        fired = 0
         self._stopped = False
         self._stop_reason = ""
+        pop_if_le = self._queue.pop_if_le
         # Integer tick index avoids additive float drift over long runs.
         k = math.ceil((self._now - 1e-12) / self.tick)
-        while (t := k * self.tick) <= until + 1e-12 and not self._stopped:
-            self._now = t
-            self._ticks_stepped += 1
-            # Fire everything quantized to this boundary, in priority order.
-            while True:
-                nxt = self._queue.peek()
-                if nxt is None or nxt.time > t + 1e-12:
-                    break
-                ev = self._queue.pop()
-                self._events_executed += 1
-                if self.pre_event_hooks:
-                    for hook in self.pre_event_hooks:
-                        hook(ev)
-                try:
-                    ev.fire()
-                except StopSimulation as sig:
-                    self._stopped = True
-                    self._stop_reason = sig.reason or "StopSimulation"
-                    break
-                if self._events_executed >= budget:
-                    raise SchedulingError(
-                        f"max_events budget of {max_events} exhausted at t={self._now}"
-                    )
-            if auto_horizon and self._latest_scheduled > until:
-                until = self._latest_scheduled  # model extended its own horizon
-            k += 1
+        try:
+            while (t := k * self.tick) <= until + 1e-12 and not self._stopped:
+                self._now = t
+                self._ticks_stepped += 1
+                # Fire everything quantized to this boundary, in priority
+                # order; the fused pop_if_le makes each firing a single
+                # queue touch.
+                while True:
+                    ev = pop_if_le(t + 1e-12)
+                    if ev is None:
+                        break
+                    fired += 1
+                    if self.pre_event_hooks:
+                        for hook in self.pre_event_hooks:
+                            hook(ev)
+                    try:
+                        ev.fire()
+                    except StopSimulation as sig:
+                        self._stopped = True
+                        self._stop_reason = sig.reason or "StopSimulation"
+                        break
+                    if fired >= budget:
+                        raise SchedulingError(
+                            f"max_events budget of {max_events} exhausted at t={self._now}"
+                        )
+                if auto_horizon and self._latest_scheduled > until:
+                    until = self._latest_scheduled  # model extended horizon
+                k += 1
+        finally:
+            self._events_executed += fired
         if not self._stopped and until is not None and self._now < until:
             self._now = until

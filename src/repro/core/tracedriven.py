@@ -15,11 +15,12 @@ the model logic that *produced* the events is skipped.
 
 from __future__ import annotations
 
+import math
 from typing import Callable, Iterable
 
 from .engine import Simulator
 from .errors import TraceFormatError
-from .events import Priority
+from .events import Event, Priority
 from .queues import EventQueue
 from .trace import TraceRecord
 
@@ -51,6 +52,8 @@ class TraceDrivenSimulator(Simulator):
         strict: bool = False,
     ) -> None:
         recs = sorted(records, key=lambda r: r.time)
+        if any(math.isnan(r.time) for r in recs):
+            raise TraceFormatError("trace contains a record at NaN time")
         start = recs[0].time if recs else 0.0
         super().__init__(queue=queue, seed=seed, start_time=start)
         self._handlers: dict[str, Handler] = {}
@@ -58,9 +61,14 @@ class TraceDrivenSimulator(Simulator):
         self.strict = strict
         self.unhandled = 0
         self.replayed = 0
+        # Bulk preload: the records are already sorted and can never be in
+        # the past (start == recs[0].time), so skip schedule_at()'s
+        # per-record validation and push straight onto the event list —
+        # replay then runs entirely on the fused pop_if_le dispatch loop.
+        push = self._queue.push
         for rec in recs:
-            self.schedule_at(rec.time, self._dispatch, rec,
-                             priority=Priority.NORMAL, label=rec.kind)
+            push(Event(rec.time, self._next_seq(), self._dispatch, (rec,),
+                       priority=Priority.NORMAL, label=rec.kind))
 
     def on(self, kind: str, handler: Handler) -> "TraceDrivenSimulator":
         """Register *handler* for records of *kind*; chainable."""

@@ -119,6 +119,29 @@ class TestRunSemantics:
         with pytest.raises(SchedulingError, match="budget"):
             sim.run(max_events=100)
 
+    def test_max_events_budget_is_per_run(self):
+        """The budget counts firings of *this* run() call, not the lifetime
+        total — a second run after N earlier firings must not raise at once."""
+        sim = Simulator()
+        for i in range(10):
+            sim.schedule_at(float(i), lambda: None)
+        sim.run(max_events=100)
+        assert sim.events_executed == 10
+        for i in range(10, 15):
+            sim.schedule_at(float(i), lambda: None)
+        # 15 cumulative firings > 12, but this run only fires 5: no raise.
+        sim.run(max_events=12)
+        assert sim.events_executed == 15
+
+        def loop():
+            sim.schedule(1.0, loop)
+
+        sim.schedule(1.0, loop)
+        with pytest.raises(SchedulingError, match="budget"):
+            sim.run(max_events=3)
+        # exactly the budgeted number fired in the raising run
+        assert sim.events_executed == 18
+
     def test_run_not_reentrant(self):
         sim = Simulator()
         captured = []

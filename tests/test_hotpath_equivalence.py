@@ -1,0 +1,122 @@
+"""Trace equivalence: fused single-call dispatch vs. the legacy peek+pop loop.
+
+The kernel's ``run()`` was restructured to touch the event list once per
+firing (``pop_if_le``) instead of twice (``peek`` then ``pop``).  That is a
+pure protocol change: for a fixed seed the executed event stream — times,
+labels, sequence numbers, and the final clock — must be byte-identical to
+the old loop's, on every queue structure.  These tests pin that guarantee.
+"""
+
+import math
+
+import pytest
+
+from repro.core import Priority, Simulator
+from repro.core.errors import SchedulingError, StopSimulation
+from repro.core.queues import QUEUE_FACTORIES
+
+ALL_KINDS = sorted(QUEUE_FACTORIES)
+
+
+class LegacyPeekPopSimulator(Simulator):
+    """The pre-change dispatch loop, kept verbatim as the reference."""
+
+    def run(self, until=None, max_events=None):
+        if self._running:
+            raise SchedulingError("run() is not reentrant")
+        self._running = True
+        self._stopped = False
+        self._stop_reason = ""
+        budget = math.inf if max_events is None else int(max_events)
+        try:
+            while not self._stopped:
+                ev = self._queue.peek()
+                if ev is None:
+                    break
+                if until is not None and ev.time > until:
+                    break
+                popped = self._queue.pop()
+                assert popped is ev
+                self._now = ev.time
+                self._events_executed += 1
+                if self.pre_event_hooks:
+                    for hook in self.pre_event_hooks:
+                        hook(ev)
+                try:
+                    ev.fire()
+                except StopSimulation as sig:
+                    self._stopped = True
+                    self._stop_reason = sig.reason or "StopSimulation"
+                if self._events_executed >= budget:
+                    raise SchedulingError(
+                        f"max_events budget of {max_events} exhausted at t={self._now}"
+                    )
+            if until is not None and not self._stopped and self._now < until:
+                self._now = until
+        finally:
+            self._running = False
+
+
+def _run_reference_model(sim_cls, kind, seed=42):
+    """A branching model with cancellations, priorities, and ties.
+
+    Returns the executed trace as (time, priority, seq, label) rows captured
+    by a pre-event hook — exactly what a TraceRecorder would see.
+    """
+    sim = sim_cls(queue=kind, seed=seed)
+    trace = []
+    sim.pre_event_hooks.append(
+        lambda ev: trace.append((round(ev.time, 12), ev.priority, ev.seq, ev.label)))
+    stream = sim.stream("model")
+    timers = []
+
+    def arrival(i):
+        if i < 120:
+            sim.schedule(stream.exponential(1.0), arrival, i + 1, label=f"arr{i+1}")
+        # park a timer and cancel an older one: builds dead records
+        timers.append(sim.schedule(50.0 + stream.exponential(5.0), _noop,
+                                   label=f"timer{i}"))
+        if len(timers) > 3:
+            timers.pop(0).cancel()
+        if i % 7 == 0:
+            # same-timestamp burst across priority bands
+            sim.schedule(0.0, _noop, priority=Priority.URGENT, label=f"u{i}")
+            sim.schedule(0.0, _noop, priority=Priority.LOW, label=f"l{i}")
+
+    def _noop():
+        pass
+
+    sim.schedule(0.0, arrival, 0, label="arr0")
+    sim.run(until=40.0)
+    sim.run()  # drain the surviving timers in a second run
+    return trace, sim.now, sim.events_executed
+
+
+@pytest.mark.parametrize("kind", ALL_KINDS)
+def test_fused_dispatch_trace_identical_to_peek_pop(kind):
+    """Same seed => identical executed event stream under both protocols."""
+    fused = _run_reference_model(Simulator, kind)
+    legacy = _run_reference_model(LegacyPeekPopSimulator, kind)
+    assert fused == legacy
+
+
+@pytest.mark.parametrize("kind", ALL_KINDS)
+def test_fused_dispatch_trace_identical_across_seeds(kind):
+    for seed in (0, 7, 1234):
+        assert (_run_reference_model(Simulator, kind, seed)
+                == _run_reference_model(LegacyPeekPopSimulator, kind, seed))
+
+
+@pytest.mark.parametrize("kind", ALL_KINDS)
+def test_pop_if_le_horizon_boundary(kind):
+    """Events exactly at the horizon fire; later ones stay queued."""
+    sim = Simulator(queue=kind)
+    seen = []
+    sim.schedule_at(1.0, seen.append, 1)
+    sim.schedule_at(2.0, seen.append, 2)
+    sim.schedule_at(2.0 + 1e-9, seen.append, 3)
+    sim.run(until=2.0)
+    assert seen == [1, 2]
+    assert sim.pending == 1
+    sim.run()
+    assert seen == [1, 2, 3]
