@@ -36,6 +36,7 @@ from collections import deque
 
 from repro.core.engine import Simulator
 from repro.core.errors import SchedulingError, StopSimulation
+from repro.core.events import Event
 
 KINDS = ["linear", "heap", "splay", "calendar", "ladder"]
 
@@ -102,6 +103,61 @@ class LegacyPeekPopSimulator(Simulator):
             self._running = False
 
 
+class PreObsSimulator(Simulator):
+    """The engine exactly as it was before the obs subsystem landed: no
+    ``_obs`` null-object checks in ``schedule_at`` or at ``run()`` entry.
+    Kept verbatim as the baseline that quantifies the *disabled-path*
+    observability cost (the ``obs_overhead`` scenario's yardstick)."""
+
+    def schedule_at(self, time, fn, *args, priority=20, label="", **kwargs):
+        if math.isnan(time):
+            raise SchedulingError("cannot schedule event at NaN time")
+        if time < self._now:
+            raise SchedulingError(
+                f"cannot schedule event in the past (t={time} < now={self._now})"
+            )
+        ev = Event(time, self._next_seq(), fn, args, kwargs,
+                   priority=priority, label=label)
+        self._queue.push(ev)
+        return ev
+
+    def run(self, until=None, max_events=None):
+        if self._running:
+            raise SchedulingError("run() is not reentrant")
+        self._running = True
+        self._stopped = False
+        self._stop_reason = ""
+        horizon = math.inf if until is None else until
+        budget = math.inf if max_events is None else int(max_events)
+        pop_if_le = self._queue.pop_if_le
+        hooks = self.pre_event_hooks
+        fired = 0
+        try:
+            while not self._stopped:
+                ev = pop_if_le(horizon)
+                if ev is None:
+                    break
+                self._now = ev.time
+                fired += 1
+                if hooks:
+                    for hook in hooks:
+                        hook(ev)
+                try:
+                    ev.fn(*ev.args, **ev.kwargs)
+                except StopSimulation as sig:
+                    self._stopped = True
+                    self._stop_reason = sig.reason or "StopSimulation"
+                if fired >= budget:
+                    raise SchedulingError(
+                        f"max_events budget of {max_events} exhausted at t={self._now}"
+                    )
+            if until is not None and not self._stopped and self._now < until:
+                self._now = until
+        finally:
+            self._events_executed += fired
+            self._running = False
+
+
 def _noop() -> None:
     pass
 
@@ -152,6 +208,68 @@ def cancel_scenario(sim_cls, kind: str, population: int,
     t0 = time.perf_counter()
     sim.run(until=horizon)
     return time.perf_counter() - t0, sim.events_executed
+
+
+def obs_drain_scenario(kind: str, events: int, mode: str) -> tuple[float, int]:
+    """Heap-drain loop under one observability mode.
+
+    ``pre_obs``
+        :class:`PreObsSimulator` — the engine with no ``_obs`` plumbing at
+        all; the yardstick the disabled-path overhead is measured against.
+    ``disabled``
+        Today's engine, nothing attached: the null-object fast path every
+        unobserved run takes.
+    ``enabled``
+        Full tracing + profiling + telemetry via ``Observation.attach``.
+    """
+    from repro.obs import Observation
+
+    if mode == "pre_obs":
+        sim = PreObsSimulator(queue=kind, seed=11)
+    else:
+        sim = Simulator(queue=kind, seed=11)
+        if mode == "enabled":
+            Observation(trace=True, profile=True, telemetry=True).attach(
+                sim, track="bench")
+    stream = sim.stream("drain")
+    for _ in range(events):
+        sim.schedule(stream.exponential(1.0), _noop)
+    t0 = time.perf_counter()
+    sim.run()
+    return time.perf_counter() - t0, sim.events_executed
+
+
+OBS_MODES = ("pre_obs", "disabled", "enabled")
+
+
+def measure_obs_overhead(kind: str = "heap", repeats: int = 3,
+                         scale: float = 1.0) -> dict:
+    """Best-of-*repeats* ev/s per obs mode on the drain loop, interleaved.
+
+    The contract (ISSUE 2 / BENCH_kernel.json): ``disabled`` must stay
+    within 2% of ``pre_obs`` — observability that nobody turned on may not
+    tax the kernel's hot path.
+    """
+    events = max(1, int(DRAIN_EVENTS * scale))
+    best = {mode: 0.0 for mode in OBS_MODES}
+    for _ in range(repeats):
+        for mode in OBS_MODES:
+            dt, n = obs_drain_scenario(kind, events, mode)
+            best[mode] = max(best[mode], n / dt)
+    return {
+        "scenario": "drain",
+        "structure": kind,
+        "events": events,
+        "pre_obs_eps": round(best["pre_obs"], 1),
+        "disabled_eps": round(best["disabled"], 1),
+        "enabled_eps": round(best["enabled"], 1),
+        # overhead vs the pre-obs engine; negatives mean "within noise"
+        "disabled_overhead_pct": round(
+            (best["pre_obs"] / best["disabled"] - 1.0) * 100, 2),
+        "enabled_overhead_pct": round(
+            (best["pre_obs"] / best["enabled"] - 1.0) * 100, 2),
+        "disabled_budget_pct": 2.0,
+    }
 
 
 SCENARIOS = {
@@ -215,6 +333,8 @@ def collect_baseline(repeats: int = 3, scale: float = 1.0,
         "headline_speedup": {
             kind: results[kind]["drain"]["speedup"] for kind in results
         },
+        # observability tax: tracer off vs on, against the pre-obs engine
+        "obs_overhead": measure_obs_overhead(repeats=repeats, scale=scale),
     }
 
 
@@ -231,3 +351,16 @@ def test_hotpath_harness_smoke():
             assert row["events"] > 0, (kind, scenario)
             assert row["fused_eps"] > 0 and row["legacy_eps"] > 0
     assert set(baseline["headline_speedup"]) == {"heap", "calendar"}
+    obs = baseline["obs_overhead"]
+    assert obs["events"] > 0
+    for key in ("pre_obs_eps", "disabled_eps", "enabled_eps"):
+        assert obs[key] > 0, key
+    # The budget itself (≤ 2% disabled overhead) is asserted only on full
+    # baseline refreshes — tiny smoke workloads are pure timer noise.
+
+
+def test_obs_modes_fire_identically():
+    """All three obs modes execute the same event count on the same seed."""
+    counts = {mode: obs_drain_scenario("heap", 500, mode)[1]
+              for mode in OBS_MODES}
+    assert len(set(counts.values())) == 1, counts

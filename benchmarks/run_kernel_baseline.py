@@ -72,6 +72,14 @@ def main(argv: list[str] | None = None) -> int:
             print(f"{kind:<10} {scenario:<8} {row['fused_eps']:>12,.0f} "
                   f"{row['legacy_eps']:>12,.0f} {row['speedup']:>7.2f}x")
 
+    obs = baseline["obs_overhead"]
+    print(f"obs overhead ({obs['structure']} {obs['scenario']}): "
+          f"pre-obs {obs['pre_obs_eps']:,.0f} ev/s, "
+          f"disabled {obs['disabled_eps']:,.0f} ev/s "
+          f"({obs['disabled_overhead_pct']:+.2f}%), "
+          f"enabled {obs['enabled_eps']:,.0f} ev/s "
+          f"({obs['enabled_overhead_pct']:+.2f}%)")
+
     if not args.smoke:
         failures = [k for k in FLOOR_KINDS
                     if baseline["headline_speedup"][k] < SPEEDUP_FLOOR]
@@ -79,6 +87,12 @@ def main(argv: list[str] | None = None) -> int:
             print(f"FAIL: headline speedup below {SPEEDUP_FLOOR}x for: "
                   f"{', '.join(failures)} — rerun on a quiet machine or "
                   f"investigate a hot-path regression", file=sys.stderr)
+            return 1
+        if obs["disabled_overhead_pct"] > obs["disabled_budget_pct"]:
+            print(f"FAIL: disabled-path obs overhead "
+                  f"{obs['disabled_overhead_pct']:.2f}% exceeds the "
+                  f"{obs['disabled_budget_pct']}% budget — the null-object "
+                  f"fast path regressed", file=sys.stderr)
             return 1
     return 0
 

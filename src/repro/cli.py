@@ -10,6 +10,8 @@ python -m repro survey                                  # Table 1 + provenance
 python -m repro coverage                                # parameter-space map
 python -m repro diff SIM_A SIM_B                        # axis-by-axis diff
 python -m repro validate [--rho R] [--jobs N]           # M/M/1 vs theory
+python -m repro validate --trace out.json --profile     # + obs artifacts
+python -m repro profile [--model mm1|hold] [...]        # obs hot-spot hunt
 python -m repro classify                                # classify live engines
 ```
 """
@@ -48,6 +50,33 @@ def build_parser() -> argparse.ArgumentParser:
     p_val.add_argument("--rho", type=float, default=0.6)
     p_val.add_argument("--jobs", type=int, default=20_000)
     p_val.add_argument("--seed", type=int, default=0)
+    p_val.add_argument("--trace", metavar="FILE", default=None,
+                       help="write a Chrome trace (Perfetto-loadable) of the run")
+    p_val.add_argument("--profile", action="store_true",
+                       help="print the handler hot-spot table and run telemetry")
+
+    p_prof = sub.add_parser(
+        "profile", help="run a workload under the obs profiler/tracer")
+    p_prof.add_argument("--model", choices=("mm1", "hold"), default="mm1",
+                        help="mm1: the validation queue; hold: the classic "
+                             "hold-model kernel stressor")
+    p_prof.add_argument("--rho", type=float, default=0.6,
+                        help="utilization for --model mm1")
+    p_prof.add_argument("--jobs", type=int, default=20_000,
+                        help="jobs (mm1) or initial event population (hold)")
+    p_prof.add_argument("--horizon", type=float, default=10.0,
+                        help="sim-time horizon for --model hold")
+    p_prof.add_argument("--queue", default="heap",
+                        help="event-list structure (linear|heap|splay|calendar|ladder)")
+    p_prof.add_argument("--seed", type=int, default=0)
+    p_prof.add_argument("--top", type=int, default=15,
+                        help="hot-spot table rows")
+    p_prof.add_argument("--trace", metavar="FILE", default=None,
+                        help="also write the Chrome trace JSON")
+    p_prof.add_argument("--csv", metavar="FILE", default=None,
+                        help="also write telemetry + per-handler CSV metrics")
+    p_prof.add_argument("--heartbeat", type=float, default=None, metavar="SECS",
+                        help="emit a progress line every SECS wall seconds")
 
     sub.add_parser("classify", help="classify the live kernel engines")
     return parser
@@ -106,15 +135,78 @@ def _cmd_validate(args) -> int:
     if not 0 < args.rho < 1:
         print("error: --rho must be in (0,1)", file=sys.stderr)
         return 2
+    obs = None
+    if args.trace or args.profile:
+        from .obs import Observation
+
+        obs = Observation(trace=bool(args.trace), profile=True, telemetry=True)
     model = MM1(args.rho, 1.0)
-    stats = simulate_mm1(args.rho, 1.0, n_jobs=args.jobs, seed=args.seed)
+    stats = simulate_mm1(args.rho, 1.0, n_jobs=args.jobs, seed=args.seed,
+                         obs=obs)
     report = compare(model, stats)
     print(f"M/M/1  rho={args.rho}  ({args.jobs} jobs, seed {args.seed})")
     print(f"  {'qty':<12} {'analytic':>10} {'measured':>10} {'rel err':>8}")
     for qty, analytic, measured, err in report.to_rows():
         print(f"  {qty:<12} {analytic:>10.4f} {measured:>10.4f} {err:>7.2%}")
     print(f"  worst relative error: {report.max_rel_error:.2%}")
+    if obs is not None:
+        _emit_obs(obs, trace=args.trace, profile=args.profile, top=15)
     return 0 if report.max_rel_error < 0.15 else 1
+
+
+def _emit_obs(obs, trace: str | None, profile: bool, top: int) -> None:
+    """Shared tail for observed commands: hot spots, telemetry, trace file."""
+    if profile:
+        sim = obs.bindings[0].sim if obs.bindings else None
+        snap = obs.telemetry.snapshot(sim) if obs.telemetry is not None else {}
+        print("\nHandler hot spots (wall time):")
+        print(obs.profile_table(top=top))
+        if snap:
+            print(f"\ntelemetry: {snap['events']:,} events in "
+                  f"{snap['wall_seconds']:.3f}s wall "
+                  f"({snap['events_per_sec']:,.0f} ev/s, "
+                  f"sim/wall {snap['sim_wall_ratio']:.3g}x)")
+    if trace:
+        n = obs.export_chrome(trace)
+        print(f"\nwrote Chrome trace: {trace} ({n} trace events) — "
+              f"load it at https://ui.perfetto.dev")
+
+
+def _cmd_profile(args) -> int:
+    from .obs import Observation
+
+    obs = Observation(trace=bool(args.trace), profile=True, telemetry=True,
+                      heartbeat=args.heartbeat)
+    if args.model == "mm1":
+        from .validation import simulate_mm1
+
+        if not 0 < args.rho < 1:
+            print("error: --rho must be in (0,1)", file=sys.stderr)
+            return 2
+        simulate_mm1(args.rho, 1.0, n_jobs=args.jobs, seed=args.seed, obs=obs)
+        print(f"profiled M/M/1  rho={args.rho}  ({args.jobs} jobs, "
+              f"seed {args.seed})")
+    else:  # hold — the kernel benchmark's classic self-regenerating load
+        from .core import Simulator
+
+        sim = Simulator(queue=args.queue, seed=args.seed)
+        obs.attach(sim, track=f"hold-{args.queue}")
+        stream = sim.stream("hold")
+
+        def fire() -> None:
+            sim.schedule(stream.exponential(1.0), fire, label="hold")
+
+        for _ in range(args.jobs):
+            sim.schedule(stream.exponential(1.0), fire, label="hold")
+        sim.run(until=args.horizon)
+        print(f"profiled hold model  queue={args.queue}  "
+              f"(population {args.jobs}, horizon {args.horizon})")
+    _emit_obs(obs, trace=args.trace, profile=True, top=args.top)
+    if args.csv:
+        with open(args.csv, "w") as fp:
+            fp.write(obs.metrics_csv())
+        print(f"wrote CSV metrics: {args.csv}")
+    return 0
 
 
 def _cmd_classify(_args) -> int:
@@ -136,6 +228,7 @@ _COMMANDS = {
     "coverage": _cmd_coverage,
     "diff": _cmd_diff,
     "validate": _cmd_validate,
+    "profile": _cmd_profile,
     "classify": _cmd_classify,
 }
 

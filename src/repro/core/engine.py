@@ -73,6 +73,11 @@ class Simulator:
         #: optional hooks called as ``hook(event)`` just before each firing —
         #: used by trace recording and by debugging instrumentation.
         self.pre_event_hooks: list[Callable[[Event], None]] = []
+        #: observability binding (:class:`repro.obs.session.ObsBinding`),
+        #: installed by ``Observation.attach``.  Null-object protocol: the
+        #: engine's only disabled-path cost is ``is not None`` checks — one
+        #: per ``schedule_at`` and one per ``run()``/``step()`` entry.
+        self._obs = None
 
     # -- clock & identity ------------------------------------------------------
 
@@ -138,6 +143,9 @@ class Simulator:
         ev = Event(time, self._next_seq(), fn, args, kwargs,
                    priority=priority, label=label)
         self._queue.push(ev)
+        obs = self._obs
+        if obs is not None:
+            obs.on_schedule(ev, self._now)
         return ev
 
     def _next_seq(self) -> int:
@@ -164,6 +172,8 @@ class Simulator:
             Safety valve for runaway models; raises after this many firings
             *within this call* (each ``run()`` gets a fresh budget).
         """
+        if self._obs is not None:
+            return self._run_observed(until, max_events)
         if self._running:
             raise SchedulingError("run() is not reentrant")
         self._running = True
@@ -223,6 +233,54 @@ class Simulator:
             self._events_executed += fired
             self._running = False
 
+    def _run_observed(self, until: float | None, max_events: int | None) -> None:
+        """The dispatch loop with observability instrumentation.
+
+        Kept as a separate method so the unobserved :meth:`run` loop stays
+        byte-for-byte the measured fast path.  Semantics are identical —
+        same fused ``pop_if_le`` protocol, same horizon and budget rules,
+        same hook ordering — plus a ``perf_counter_ns`` stamp around each
+        firing feeding the tracer/profiler/telemetry via the binding.
+        """
+        if self._running:
+            raise SchedulingError("run() is not reentrant")
+        self._running = True
+        self._stopped = False
+        self._stop_reason = ""
+        horizon = math.inf if until is None else until
+        budget = math.inf if max_events is None else int(max_events)
+        pop_if_le = self._queue.pop_if_le
+        hooks = self.pre_event_hooks
+        obs = self._obs
+        fired = 0
+        try:
+            while not self._stopped:
+                ev = pop_if_le(horizon)
+                if ev is None:
+                    break
+                self._now = ev.time
+                fired += 1
+                if hooks:
+                    for hook in hooks:
+                        hook(ev)
+                t0 = obs.begin_fire(ev)
+                try:
+                    ev.fn(*ev.args, **ev.kwargs)
+                except StopSimulation as sig:
+                    self._stopped = True
+                    self._stop_reason = sig.reason or "StopSimulation"
+                finally:
+                    obs.end_fire(ev, t0)
+                if fired >= budget:
+                    raise SchedulingError(
+                        f"max_events budget of {max_events} exhausted at t={self._now}"
+                    )
+            if until is not None and not self._stopped and self._now < until:
+                self._now = until
+        finally:
+            self._events_executed += fired
+            self._running = False
+
     def step(self) -> bool:
         """Fire exactly one event.  Returns False when the queue is empty."""
         ev = self._queue.pop()
@@ -233,11 +291,22 @@ class Simulator:
         if self.pre_event_hooks:
             for hook in self.pre_event_hooks:
                 hook(ev)
+        obs = self._obs
+        if obs is None:
+            try:
+                ev.fire()
+            except StopSimulation as sig:
+                self._stopped = True
+                self._stop_reason = sig.reason or "StopSimulation"
+            return True
+        t0 = obs.begin_fire(ev)
         try:
             ev.fire()
         except StopSimulation as sig:
             self._stopped = True
             self._stop_reason = sig.reason or "StopSimulation"
+        finally:
+            obs.end_fire(ev, t0)
         return True
 
     def stop(self, reason: str = "") -> None:

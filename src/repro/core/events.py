@@ -67,7 +67,7 @@ class Event:
     """
 
     __slots__ = ("time", "priority", "seq", "fn", "args", "kwargs", "label",
-                 "_cancelled", "_on_cancel")
+                 "_cancelled", "_on_cancel", "obs_span")
 
     def __init__(
         self,
@@ -90,6 +90,11 @@ class Event:
         #: set by the owning queue at push time, cleared at pop time; lets
         #: the queue keep an exact dead-record count for eager purging.
         self._on_cancel: Callable[[], None] | None = None
+        #: the tracer's lifecycle span (:mod:`repro.obs`), or None when the
+        #: owning simulator is unobserved.  A dedicated slot rather than a
+        #: tracer-side dict so the instrumented dispatch loop reads it
+        #: without a hash lookup; the untraced path only ever stores None.
+        self.obs_span: object | None = None
 
     # -- ordering -----------------------------------------------------------
 

@@ -359,6 +359,22 @@ class Monitor:
             rows.append(f"  {key:<36} {cells}")
         return "\n".join(rows)
 
+    def to_markdown(self, t_end: float | None = None) -> str:
+        """Summary as a markdown table (one row per collector)."""
+        keys: list[str] = []
+        rows = []
+        summary = self.summary(t_end)
+        for vals in summary.values():
+            for k in vals:
+                if k not in keys:
+                    keys.append(k)
+        header = "| collector | " + " | ".join(keys) + " |"
+        sep = "|---|" + "|".join("---:" for _ in keys) + "|"
+        for key, vals in summary.items():
+            cells = " | ".join(_fmt(vals[k]) if k in vals else "" for k in keys)
+            rows.append(f"| `{key}` | {cells} |")
+        return "\n".join([header, sep, *rows])
+
     def to_csv(self, t_end: float | None = None) -> str:
         """Summary as CSV text (collector, statistic, value)."""
         lines = ["collector,statistic,value"]
@@ -369,7 +385,12 @@ class Monitor:
 
 
 def _fmt(v: float) -> str:
-    if isinstance(v, float) and (math.isnan(v) or math.isinf(v)):
+    # Empty collectors reduce to NaN (no observations yet); a bare "nan"
+    # in a report table reads like a bug, so render an em dash instead.
+    # CSV output keeps repr(nan) — machine formats must stay lossless.
+    if isinstance(v, float) and math.isnan(v):
+        return "—"
+    if isinstance(v, float) and math.isinf(v):
         return str(v)
     if isinstance(v, float):
         return f"{v:.6g}"

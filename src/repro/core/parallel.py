@@ -168,6 +168,11 @@ class LogicalProcess:
         self._send_seq += 1
         msg = Message(self.sim.now + ch.lookahead + extra_delay, kind, payload,
                       self.name, self._send_seq)
+        obs = self.sim._obs
+        if obs is not None:
+            # The tracer remembers which local firing produced this message
+            # so the destination LP's dispatch span gets it as causal parent.
+            obs.on_message_send(msg)
         ch.send(msg)
         return msg
 
@@ -193,10 +198,20 @@ class LogicalProcess:
         for ch in self.inputs.values():
             ready.extend(ch.take_ready(up_to))
         ready.sort(key=lambda m: m.order_key)
-        for msg in ready:
-            self.sim.schedule_at(
-                max(msg.recv_time, self.sim.now), self._dispatch, msg,
-                priority=Priority.HIGH, label=f"recv:{msg.kind}")
+        obs = self.sim._obs
+        if obs is None:
+            for msg in ready:
+                self.sim.schedule_at(
+                    max(msg.recv_time, self.sim.now), self._dispatch, msg,
+                    priority=Priority.HIGH, label=f"recv:{msg.kind}")
+        else:
+            for msg in ready:
+                ev = self.sim.schedule_at(
+                    max(msg.recv_time, self.sim.now), self._dispatch, msg,
+                    priority=Priority.HIGH, label=f"recv:{msg.kind}")
+                # Graft the sender's firing span onto the dispatch event —
+                # the cross-LP leg of the causal chain.
+                obs.on_message_recv(msg, ev)
         return len(ready)
 
     def _dispatch(self, msg: Message) -> None:

@@ -224,6 +224,9 @@ class Process(Waitable):
         # construction never runs model code re-entrantly.
         sim.schedule(0.0, self._step, None, False,
                      priority=Priority.HIGH, label=f"start:{self.name}")
+        obs = sim._obs
+        if obs is not None:
+            obs.on_process(self, "spawn")
 
     # -- lifecycle --------------------------------------------------------------
 
@@ -268,17 +271,26 @@ class Process(Waitable):
                 yielded = self._gen.send(value)
         except StopIteration as stop:
             self.state = _State.DONE
+            obs = self.sim._obs
+            if obs is not None:
+                obs.on_process(self, "done")
             self._complete(stop.value)
             return
         except InterruptError as exc:
             # The body let the interrupt escape: treat as clean termination
             # with the interrupt cause as the result.
             self.state = _State.DONE
+            obs = self.sim._obs
+            if obs is not None:
+                obs.on_process(self, "done")
             self._complete(exc.cause)
             return
         except Exception as exc:
             self.state = _State.FAILED
             self.error = exc
+            obs = self.sim._obs
+            if obs is not None:
+                obs.on_process(self, "failed")
             raise ProcessError(f"process {self.name!r} crashed: {exc!r}") from exc
         self._arm(yielded)
 

@@ -98,6 +98,7 @@ class TimeDrivenSimulator(Simulator):
         self._stopped = False
         self._stop_reason = ""
         pop_if_le = self._queue.pop_if_le
+        obs = self._obs
         # Integer tick index avoids additive float drift over long runs.
         k = math.ceil((self._now - 1e-12) / self.tick)
         try:
@@ -115,12 +116,23 @@ class TimeDrivenSimulator(Simulator):
                     if self.pre_event_hooks:
                         for hook in self.pre_event_hooks:
                             hook(ev)
-                    try:
-                        ev.fire()
-                    except StopSimulation as sig:
-                        self._stopped = True
-                        self._stop_reason = sig.reason or "StopSimulation"
-                        break
+                    if obs is None:
+                        try:
+                            ev.fire()
+                        except StopSimulation as sig:
+                            self._stopped = True
+                            self._stop_reason = sig.reason or "StopSimulation"
+                            break
+                    else:
+                        t0 = obs.begin_fire(ev)
+                        try:
+                            ev.fire()
+                        except StopSimulation as sig:
+                            self._stopped = True
+                            self._stop_reason = sig.reason or "StopSimulation"
+                            break
+                        finally:
+                            obs.end_fire(ev, t0)
                     if fired >= budget:
                         raise SchedulingError(
                             f"max_events budget of {max_events} exhausted at t={self._now}"

@@ -108,11 +108,17 @@ class FileTransferService:
     def _launch(self, key: tuple[str, str], ticket: _TransferTicket) -> None:
         self._in_flight[key] = self._in_flight.get(key, 0) + 1
         ticket.started = self.sim.now
+        obs = self.sim._obs
+        if obs is not None:
+            obs.on_transfer_begin(ticket)
         handle = self.transport.transfer(ticket.src, ticket.dst, ticket.file.size)
         handle._subscribe(lambda _res: self._done(key, ticket))
 
     def _done(self, key: tuple[str, str], ticket: _TransferTicket) -> None:
         ticket.finished = self.sim.now
+        obs = self.sim._obs
+        if obs is not None:
+            obs.on_transfer_end(ticket)
         self.completed += 1
         self.monitor.tally("queue_delay").record(ticket.queue_delay)
         self.monitor.tally("total_time").record(ticket.total_time)

@@ -1,0 +1,47 @@
+"""repro.obs — causal tracing, handler profiling, and run telemetry.
+
+The paper's *monitoring* axis (MONARC's built-in view of the running
+simulation) and *visual output analyzer* axis, made native: attach an
+:class:`Observation` to any simulator (or a whole set of logical
+processes) and get
+
+* **causal event spans** — every event's scheduled→fired/cancelled
+  lifecycle with the firing that caused it (:mod:`repro.obs.tracer`);
+* **handler profiles** — wall time and firing counts per callback
+  (:mod:`repro.obs.profiler`);
+* **run telemetry** — events/sec, sim-time/wall-time ratio, queue depth,
+  and a heartbeat progress line (:mod:`repro.obs.telemetry`);
+* **exports** — Chrome trace-event JSON (load it in Perfetto), CSV
+  metrics, and markdown hot-spot tables (:mod:`repro.obs.export`).
+
+Disabled cost is a single attribute check in the kernel — measured by the
+``obs_overhead`` scenario in ``benchmarks/bench_kernel_hotpath.py``.
+"""
+
+from .export import (chrome_trace, metrics_csv, profile_csv,
+                     profile_markdown, telemetry_csv, write_chrome_trace)
+from .profiler import HandlerProfiler, HandlerStats
+from .session import Observation, ObsBinding
+from .spans import AsyncSpan, EventSpan, Marker, SpanStatus, callback_name
+from .telemetry import Telemetry
+from .tracer import Tracer
+
+__all__ = [
+    "Observation",
+    "ObsBinding",
+    "Tracer",
+    "HandlerProfiler",
+    "HandlerStats",
+    "Telemetry",
+    "EventSpan",
+    "AsyncSpan",
+    "Marker",
+    "SpanStatus",
+    "callback_name",
+    "chrome_trace",
+    "write_chrome_trace",
+    "profile_markdown",
+    "profile_csv",
+    "telemetry_csv",
+    "metrics_csv",
+]

@@ -1,0 +1,261 @@
+"""The observation session: one object wiring tracer/profiler/telemetry.
+
+Usage::
+
+    from repro.obs import Observation
+
+    obs = Observation(trace=True, profile=True, heartbeat=2.0)
+    obs.attach(sim)                       # or obs.attach_lps(lps)
+    sim.run()
+    obs.export_chrome("out.json")         # Perfetto-loadable
+    print(obs.profile_table())            # markdown hot spots
+    print(obs.telemetry.snapshot(sim))
+
+Mechanics
+---------
+:meth:`attach` installs an :class:`ObsBinding` as ``sim._obs``.  The kernel
+treats that attribute as a null object: when it is ``None`` (the default)
+the engine's fast dispatch loop runs untouched and scheduling pays exactly
+one attribute check; when set, the engine switches to an instrumented loop
+that stamps ``perf_counter_ns`` around every firing and maintains the
+*current firing span* that gives scheduled children their causal parent.
+
+One :class:`Observation` may observe many simulators (the distributed
+executors run one per logical process) — each gets its own binding/track,
+while the tracer, profiler, and telemetry aggregate across all of them.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter_ns
+from typing import Any, Optional
+
+from .export import (chrome_trace, metrics_csv, profile_markdown,
+                     write_chrome_trace)
+from .profiler import HandlerProfiler
+from .spans import EventSpan
+from .telemetry import Telemetry
+from .tracer import Tracer
+
+__all__ = ["Observation", "ObsBinding"]
+
+
+class ObsBinding:
+    """Per-simulator instrumentation hub (stored as ``sim._obs``).
+
+    The engine and the instrumented layers (processes, transfers, LPs) call
+    these methods only when the binding exists, so every method may assume
+    observation is on; each individually tolerates its facet (tracer,
+    profiler, telemetry) being disabled.
+    """
+
+    __slots__ = ("obs", "sim", "track", "tracer", "profiler", "telemetry",
+                 "current")
+
+    def __init__(self, obs: "Observation", sim: Any, track: str) -> None:
+        self.obs = obs
+        self.sim = sim
+        self.track = track
+        self.tracer = obs.tracer
+        self.profiler = obs.profiler
+        self.telemetry = obs.telemetry
+        #: span of the event whose handler is executing right now — the
+        #: causal parent of anything scheduled during that window.
+        self.current: Optional[EventSpan] = None
+
+    # -- engine hooks --------------------------------------------------------
+
+    def on_schedule(self, ev: Any, now: float) -> None:
+        """A new event entered the queue (engine ``schedule_at``)."""
+        tracer = self.tracer
+        if tracer is not None:
+            ev.obs_span = tracer.on_schedule(self.track, ev, now, self.current)
+
+    def begin_fire(self, ev: Any) -> int:
+        """About to run *ev*'s handler; returns the wall stamp."""
+        span = ev.obs_span
+        if span is not None:
+            self.current = span
+        return perf_counter_ns()
+
+    def end_fire(self, ev: Any, t0: int) -> None:
+        """*ev*'s handler returned (or raised); seal timing records."""
+        dur = perf_counter_ns() - t0
+        profiler = self.profiler
+        if profiler is not None:
+            profiler.add(ev.fn, dur)
+        span = ev.obs_span
+        if span is not None:
+            Tracer.on_fired(span, t0, dur)
+            ev.obs_span = None
+            self.current = None
+        telemetry = self.telemetry
+        if telemetry is not None:
+            telemetry.on_event(self.sim)
+
+    # -- layer hooks (processes, transfers, cross-LP messages) ---------------
+
+    def on_process(self, process: Any, phase: str) -> None:
+        """Process lifecycle annotation (spawn/done/failed/interrupt)."""
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.marker(self.track, "process", f"{phase}:{process.name}",
+                          self.sim.now)
+
+    def on_transfer_begin(self, ticket: Any) -> None:
+        """A file transfer left the backlog and hit the wire."""
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.async_begin(
+                id(ticket), self.track, "transfer",
+                f"{ticket.file.name} {ticket.src}->{ticket.dst}",
+                self.sim.now,
+                {"bytes": ticket.file.size,
+                 "queue_delay": ticket.queue_delay})
+
+    def on_transfer_end(self, ticket: Any) -> None:
+        """The transfer completed; close its interval."""
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.async_end(id(ticket), self.sim.now,
+                             {"total_time": ticket.total_time})
+
+    def on_message_send(self, msg: Any) -> None:
+        """This LP emitted a cross-LP message during the current firing."""
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.on_message_send(msg, self.current)
+
+    def on_message_recv(self, msg: Any, ev: Any) -> None:
+        """A cross-LP message was scheduled for local dispatch as *ev*."""
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.on_message_recv(msg, ev.obs_span)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<ObsBinding track={self.track!r}>"
+
+
+class Observation:
+    """One observed run: tracing, profiling, and telemetry à la carte.
+
+    Parameters
+    ----------
+    trace / profile / telemetry:
+        Enable the corresponding facet.  All three default on; each off
+        switch removes that facet's per-event work entirely.
+    heartbeat:
+        Wall seconds between progress lines (None = silent telemetry).
+    sink:
+        Heartbeat destination (default stderr); any ``str -> None`` callable.
+    """
+
+    def __init__(self, trace: bool = True, profile: bool = True,
+                 telemetry: bool = True, heartbeat: float | None = None,
+                 sink=None) -> None:
+        self.tracer: Tracer | None = Tracer() if trace else None
+        self.profiler: HandlerProfiler | None = HandlerProfiler() if profile else None
+        self.telemetry: Telemetry | None = (
+            Telemetry(heartbeat=heartbeat, sink=sink) if telemetry else None)
+        self.bindings: list[ObsBinding] = []
+        self._job_hook_installed = False
+
+    # -- attachment ----------------------------------------------------------
+
+    def attach(self, sim: Any, track: str | None = None) -> "Observation":
+        """Observe *sim* (idempotent per simulator); chainable."""
+        existing = getattr(sim, "_obs", None)
+        if existing is not None and existing.obs is self:
+            return self
+        binding = ObsBinding(self, sim, track or f"sim{len(self.bindings)}")
+        sim._obs = binding
+        self.bindings.append(binding)
+        return self
+
+    def attach_lps(self, lps) -> "Observation":
+        """Observe every logical process, one track per LP name."""
+        for lp in lps:
+            self.attach(lp.sim, track=lp.name)
+        return self
+
+    def detach(self, sim: Any) -> None:
+        """Stop observing *sim* (records collected so far are kept)."""
+        binding = getattr(sim, "_obs", None)
+        if binding is not None and binding.obs is self:
+            sim._obs = None
+            self.bindings = [b for b in self.bindings if b is not binding]
+
+    def observe_jobs(self) -> "Observation":
+        """Record middleware job state transitions as trace markers."""
+        if self.tracer is not None and not self._job_hook_installed:
+            from ..middleware import jobs as _jobs
+
+            def on_transition(job, to, now, _tracer=self.tracer):
+                _tracer.marker("jobs", "job", f"job{job.id}:{to.value}", now,
+                               {"job": job.id, "state": to.value})
+
+            _jobs.set_job_observer(on_transition)
+            self._job_hook_installed = True
+        return self
+
+    def unobserve_jobs(self) -> None:
+        """Remove the job-transition hook installed by :meth:`observe_jobs`."""
+        if self._job_hook_installed:
+            from ..middleware import jobs as _jobs
+            _jobs.set_job_observer(None)
+            self._job_hook_installed = False
+
+    def close(self) -> None:
+        """Detach from every simulator and release global hooks."""
+        for binding in list(self.bindings):
+            self.detach(binding.sim)
+        self.unobserve_jobs()
+        if self.tracer is not None:
+            self.tracer.finalize()
+
+    # -- exports -------------------------------------------------------------
+
+    def chrome_trace(self) -> dict:
+        """The Chrome trace-event object (requires ``trace=True``)."""
+        if self.tracer is None:
+            raise ValueError("tracing was not enabled on this Observation")
+        return chrome_trace(self.tracer, self.telemetry)
+
+    def export_chrome(self, path) -> int:
+        """Write the Perfetto-loadable trace JSON; returns event count."""
+        if self.tracer is None:
+            raise ValueError("tracing was not enabled on this Observation")
+        with open(path, "w") as fp:
+            return write_chrome_trace(self.tracer, fp, self.telemetry)
+
+    def profile_table(self, top: int = 15) -> str:
+        """Markdown hot-spot table (requires ``profile=True``)."""
+        if self.profiler is None:
+            raise ValueError("profiling was not enabled on this Observation")
+        return profile_markdown(self.profiler, top=top)
+
+    def metrics_csv(self, sim: Any = None) -> str:
+        """Telemetry + profile rows as CSV text."""
+        if sim is None and self.bindings:
+            sim = self.bindings[0].sim
+        return metrics_csv(self.profiler, self.telemetry, sim)
+
+    def summary(self) -> dict:
+        """Topline numbers from every enabled facet."""
+        out: dict[str, Any] = {}
+        if self.tracer is not None:
+            out["trace"] = self.tracer.counts()
+        if self.profiler is not None:
+            out["profile"] = {"handlers": len(self.profiler),
+                              "firings": self.profiler.firings,
+                              "total_ms": self.profiler.total_ns / 1e6}
+        if self.telemetry is not None:
+            sim = self.bindings[0].sim if self.bindings else None
+            out["telemetry"] = self.telemetry.snapshot(sim)
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        facets = [name for name, on in (("trace", self.tracer),
+                                        ("profile", self.profiler),
+                                        ("telemetry", self.telemetry)) if on]
+        return f"<Observation {'+'.join(facets) or 'off'} sims={len(self.bindings)}>"

@@ -1,0 +1,161 @@
+"""Span and marker records — the tracer's data model.
+
+An :class:`EventSpan` is the lifecycle of one kernel event: *scheduled*
+(when and by whom), then either *fired* (with the handler's measured wall
+time) or *cancelled*.  Causality is explicit: ``parent`` points at the span
+of the event whose handler scheduled this one, so the whole run unfolds as
+a forest of cause→effect chains — which firing scheduled which event,
+through arbitrary layers of processes, resources, and middleware.
+
+Spans deliberately store *references* (the callback, the parent span) and
+resolve display names lazily at export time; the hot path pays only slot
+stores, never ``getattr`` string formatting.
+
+:class:`Marker` and :class:`AsyncSpan` are the two auxiliary record kinds:
+point-in-time annotations (process spawned, job changed state) and
+begin/end intervals that outlive any single event (file transfers).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+__all__ = ["SpanStatus", "EventSpan", "Marker", "AsyncSpan"]
+
+
+class SpanStatus:
+    """Event lifecycle states (plain ints: compared in hot-ish paths)."""
+
+    PENDING = 0    #: scheduled, not yet fired, not known cancelled
+    FIRED = 1      #: handler ran; wall timing recorded
+    CANCELLED = 2  #: cancelled before firing
+
+    NAMES = {PENDING: "pending", FIRED: "fired", CANCELLED: "cancelled"}
+
+
+class EventSpan:
+    """Lifecycle record of one scheduled kernel event.
+
+    Attributes
+    ----------
+    track:
+        Timeline name (one per attached simulator — the LP name under
+        distributed execution).
+    seq:
+        The event's kernel sequence number (unique per simulator).
+    label / fn:
+        The event's diagnostic label and raw callback; the exporter derives
+        ``module.qualname`` from ``fn`` lazily.
+    parent:
+        The :class:`EventSpan` of the event whose firing scheduled this one
+        (None for externally scheduled roots).  Cross-LP message deliveries
+        point at the *sending* LP's firing span (``remote`` is then True).
+    sched_sim / due_sim:
+        Simulation clock when scheduled, and the requested firing time.
+    sched_wall / fire_wall:
+        ``perf_counter_ns`` stamps (tracer-epoch relative at export).
+    dur_ns:
+        Handler wall time in nanoseconds (0 until fired).
+    """
+
+    __slots__ = ("track", "seq", "priority", "label", "fn", "parent",
+                 "sched_sim", "due_sim", "sched_wall", "fire_wall", "dur_ns",
+                 "status", "remote", "event")
+
+    def __init__(self, track: str, seq: int, priority: int, label: str,
+                 fn: Any, parent: Optional["EventSpan"], sched_sim: float,
+                 due_sim: float, sched_wall: int, event: Any) -> None:
+        self.track = track
+        self.seq = seq
+        self.priority = priority
+        self.label = label
+        self.fn = fn
+        self.parent = parent
+        self.sched_sim = sched_sim
+        self.due_sim = due_sim
+        self.sched_wall = sched_wall
+        self.fire_wall = 0
+        self.dur_ns = 0
+        self.status = SpanStatus.PENDING
+        self.remote = False
+        #: live Event reference while pending — lets finalize() resolve
+        #: cancellations without any hook on the (hot) cancel path.
+        self.event = event
+
+    @property
+    def fn_name(self) -> str:
+        """``module.qualname`` of the callback (display name)."""
+        return callback_name(self.fn)
+
+    @property
+    def name(self) -> str:
+        """Preferred display name: the label, else the callback name."""
+        return self.label or self.fn_name
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<EventSpan {self.track}#{self.seq} {self.name!r} "
+                f"{SpanStatus.NAMES[self.status]} due={self.due_sim:.6g}>")
+
+
+class Marker:
+    """A point-in-time annotation (process spawn, job state change...)."""
+
+    __slots__ = ("track", "category", "name", "wall", "sim_time", "args")
+
+    def __init__(self, track: str, category: str, name: str, wall: int,
+                 sim_time: float, args: dict | None = None) -> None:
+        self.track = track
+        self.category = category
+        self.name = name
+        self.wall = wall
+        self.sim_time = sim_time
+        self.args = args or {}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Marker {self.category}:{self.name} t={self.sim_time:.6g}>"
+
+
+class AsyncSpan:
+    """A begin/end interval spanning many events (e.g. one file transfer)."""
+
+    __slots__ = ("track", "category", "name", "begin_wall", "end_wall",
+                 "begin_sim", "end_sim", "args")
+
+    def __init__(self, track: str, category: str, name: str, begin_wall: int,
+                 begin_sim: float, args: dict | None = None) -> None:
+        self.track = track
+        self.category = category
+        self.name = name
+        self.begin_wall = begin_wall
+        self.begin_sim = begin_sim
+        self.end_wall: int | None = None
+        self.end_sim: float | None = None
+        self.args = args or {}
+
+    @property
+    def open(self) -> bool:
+        """True until :meth:`close` is called."""
+        return self.end_wall is None
+
+    def close(self, end_wall: int, end_sim: float) -> None:
+        """Record the interval's end stamps."""
+        self.end_wall = end_wall
+        self.end_sim = end_sim
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "open" if self.open else "closed"
+        return f"<AsyncSpan {self.category}:{self.name} {state}>"
+
+
+def callback_name(fn: Any) -> str:
+    """``module.qualname`` for any callable (methods, partials, lambdas)."""
+    f = getattr(fn, "__func__", fn)  # unwrap bound methods
+    qual = getattr(f, "__qualname__", None)
+    if qual is None:
+        func = getattr(f, "func", None)  # functools.partial
+        if func is not None:
+            return callback_name(func)
+        return type(fn).__name__
+    module = getattr(f, "__module__", "") or ""
+    short = module.rsplit(".", 1)[-1] if module else ""
+    return f"{short}.{qual}" if short else qual

@@ -114,9 +114,15 @@ def _run_queue(sim: Simulator, servers: int, arrival_gap: Callable[[], float],
 
 
 def simulate_mm1(lam: float, mu: float, n_jobs: int = 20_000,
-                 warmup: int = 2_000, seed: int = 0) -> QueueRunStats:
-    """M/M/1 built from kernel primitives."""
+                 warmup: int = 2_000, seed: int = 0, obs=None) -> QueueRunStats:
+    """M/M/1 built from kernel primitives.
+
+    Pass an :class:`repro.obs.Observation` as *obs* to trace/profile the
+    run (the simulator is created internally, so this is the attach point).
+    """
     sim = Simulator(seed=seed)
+    if obs is not None:
+        obs.attach(sim, track="mm1")
     arr = sim.stream("arrivals")
     svc = sim.stream("service")
     return _run_queue(sim, 1, lambda: arr.exponential(1 / lam),
@@ -124,9 +130,11 @@ def simulate_mm1(lam: float, mu: float, n_jobs: int = 20_000,
 
 
 def simulate_mmc(lam: float, mu: float, c: int, n_jobs: int = 20_000,
-                 warmup: int = 2_000, seed: int = 0) -> QueueRunStats:
+                 warmup: int = 2_000, seed: int = 0, obs=None) -> QueueRunStats:
     """M/M/c built from kernel primitives."""
     sim = Simulator(seed=seed)
+    if obs is not None:
+        obs.attach(sim, track=f"mm{c}")
     arr = sim.stream("arrivals")
     svc = sim.stream("service")
     return _run_queue(sim, c, lambda: arr.exponential(1 / lam),
@@ -134,9 +142,11 @@ def simulate_mmc(lam: float, mu: float, c: int, n_jobs: int = 20_000,
 
 
 def simulate_mg1(lam: float, service: Callable[[], float], n_jobs: int = 20_000,
-                 warmup: int = 2_000, seed: int = 0) -> QueueRunStats:
+                 warmup: int = 2_000, seed: int = 0, obs=None) -> QueueRunStats:
     """M/G/1 with an arbitrary service-time sampler."""
     sim = Simulator(seed=seed)
+    if obs is not None:
+        obs.attach(sim, track="mg1")
     arr = sim.stream("arrivals")
     return _run_queue(sim, 1, lambda: arr.exponential(1 / lam),
                       service, n_jobs, warmup)

@@ -62,6 +62,43 @@ class TestValidate:
     def test_bad_rho_rejected(self, capsys):
         assert main(["validate", "--rho", "1.5"]) == 2
 
+    def test_trace_and_profile_emit_obs_artifacts(self, capsys, tmp_path):
+        import json
+
+        trace = tmp_path / "mm1.json"
+        assert main(["validate", "--rho", "0.5", "--jobs", "4000",
+                     "--trace", str(trace), "--profile"]) == 0
+        out = capsys.readouterr().out
+        assert "Handler hot spots" in out and "| handler |" in out
+        assert "telemetry:" in out
+        payload = json.loads(trace.read_text())
+        assert payload["traceEvents"]
+        assert any(e["ph"] == "X" for e in payload["traceEvents"])
+        assert any(e["ph"] == "s" for e in payload["traceEvents"])
+
+
+class TestProfile:
+    def test_mm1_prints_hot_spots(self, capsys):
+        assert main(["profile", "--jobs", "4000"]) == 0
+        out = capsys.readouterr().out
+        assert "profiled M/M/1" in out and "| handler |" in out
+
+    def test_hold_model_with_trace_and_csv(self, capsys, tmp_path):
+        import json
+
+        trace, csv = tmp_path / "hold.json", tmp_path / "hold.csv"
+        assert main(["profile", "--model", "hold", "--jobs", "200",
+                     "--horizon", "5.0", "--queue", "calendar",
+                     "--trace", str(trace), "--csv", str(csv)]) == 0
+        out = capsys.readouterr().out
+        assert "profiled hold model" in out and "calendar" in out
+        assert json.loads(trace.read_text())["traceEvents"]
+        text = csv.read_text()
+        assert "metric,value" in text and "handler,firings" in text
+
+    def test_bad_rho_rejected(self):
+        assert main(["profile", "--rho", "0"]) == 2
+
 
 class TestClassify:
     def test_lists_engines(self, capsys):

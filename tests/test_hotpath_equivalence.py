@@ -107,6 +107,89 @@ def test_fused_dispatch_trace_identical_across_seeds(kind):
                 == _run_reference_model(LegacyPeekPopSimulator, kind, seed))
 
 
+def _observed_sim_factory(**obs_kwargs):
+    """A Simulator factory that attaches a fresh full Observation."""
+    from repro.obs import Observation
+
+    def make(queue="heap", seed=0):
+        sim = Simulator(queue=queue, seed=seed)
+        Observation(**obs_kwargs).attach(sim, track="ref")
+        return sim
+
+    return make
+
+
+@pytest.mark.parametrize("kind", ALL_KINDS)
+def test_traced_stream_identical_to_untraced(kind):
+    """Observation on => the fired-event stream is byte-identical.
+
+    The obs subsystem must be a pure observer: spans, profiles, and
+    telemetry may not perturb event order, timing, counts, or the clock on
+    any queue structure.
+    """
+    traced = _observed_sim_factory(trace=True, profile=True, telemetry=True)
+    assert _run_reference_model(traced, kind) == _run_reference_model(Simulator, kind)
+
+
+@pytest.mark.parametrize("kind", ALL_KINDS)
+def test_profile_only_stream_identical(kind):
+    """Same guarantee with the tracer off (profiler/telemetry only)."""
+    profiled = _observed_sim_factory(trace=False, profile=True, telemetry=True)
+    assert (_run_reference_model(profiled, kind)
+            == _run_reference_model(Simulator, kind))
+
+
+def _parallel():
+    import repro.core.parallel as mod
+    return mod
+
+
+def _run_parallel_reference(executor_factory, observed):
+    """A 3-LP relay with fan-out; returns per-LP fired streams + clocks."""
+    from repro.core.parallel import LogicalProcess
+
+    lps = [LogicalProcess(f"lp{i}", seed=i) for i in range(3)]
+    for i, lp in enumerate(lps):
+        lp.connect(lps[(i + 1) % 3], lookahead=0.5)
+    if observed:
+        from repro.obs import Observation
+
+        Observation(trace=True, profile=True, telemetry=True).attach_lps(lps)
+    traces = {lp.name: [] for lp in lps}
+    for lp in lps:
+        lp.sim.pre_event_hooks.append(
+            lambda ev, log=traces[lp.name]: log.append(
+                (round(ev.time, 12), ev.priority, ev.seq, ev.label)))
+
+    def on_token(lp, msg):
+        if msg.payload < 30:
+            nxt = f"lp{(int(lp.name[2:]) + 1) % 3}"
+            lp.send(nxt, "token", msg.payload + 1)
+        if msg.payload % 4 == 0:  # local work fans out from the dispatch
+            lp.sim.schedule(0.25, lambda: None, label=f"work{msg.payload}")
+
+    for lp in lps:
+        lp.on_message("token", on_token)
+    lps[0].sim.schedule(0.0, lps[0].send, "lp1", "token", 0)
+    executor_factory().run(lps, until=40.0)
+    clocks = {lp.name: round(lp.sim.now, 12) for lp in lps}
+    events = {lp.name: lp.sim.events_executed for lp in lps}
+    return traces, clocks, events
+
+
+@pytest.mark.parametrize("executor_factory", [
+    lambda: _parallel().SequentialExecutor(),
+    lambda: _parallel().CMBExecutor(),
+    lambda: _parallel().WindowExecutor(),
+    lambda: _parallel().WindowExecutor(threads=2),
+], ids=["sequential", "cmb", "window", "window-threaded"])
+def test_traced_parallel_stream_identical(executor_factory):
+    """Tracing a distributed run leaves every LP's stream untouched."""
+    plain = _run_parallel_reference(executor_factory, observed=False)
+    traced = _run_parallel_reference(executor_factory, observed=True)
+    assert traced == plain
+
+
 @pytest.mark.parametrize("kind", ALL_KINDS)
 def test_pop_if_le_horizon_boundary(kind):
     """Events exactly at the horizon fire; later ones stay queued."""

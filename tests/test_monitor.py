@@ -156,6 +156,33 @@ class TestMonitor:
         assert lines[0] == "collector,statistic,value"
         assert any(line.startswith("tally.x,mean,") for line in lines)
 
+    def test_empty_collectors_render_dash_not_nan(self):
+        # Regression: an empty tally/level reduces to NaN; the human tables
+        # must show an em dash, never the literal "nan".
+        m = Monitor("empty")
+        m.tally("wait")        # no observations
+        m.level("queue")       # no samples
+        for text in (m.report(), m.to_markdown()):
+            assert "nan" not in text.lower()
+            assert "—" in text
+
+    def test_csv_keeps_nan_lossless(self):
+        # Machine format stays repr()-exact so round-trips detect emptiness.
+        m = Monitor()
+        m.tally("wait")
+        assert "tally.wait,mean,nan" in m.to_csv()
+
+    def test_markdown_table_shape(self):
+        m = Monitor("md")
+        m.tally("wait").record(2.5)
+        m.counter("done").increment(1.0)
+        lines = m.to_markdown(t_end=10.0).splitlines()
+        assert lines[0].startswith("| collector |")
+        assert set(lines[1].replace("|", "").replace("-", "").replace(":", "")) <= {""}
+        width = lines[0].count("|")
+        assert all(line.count("|") == width for line in lines)
+        assert any("`tally.wait`" in line for line in lines)
+
 
 class TestAsciiPlot:
     def test_plot_renders_grid(self):

@@ -1,0 +1,438 @@
+"""The obs subsystem: causal tracing, handler profiling, run telemetry.
+
+Covers the span model (parentage, cancellation, cross-LP grafting), the
+profiler's aggregation keys, telemetry snapshots/heartbeats, the Chrome
+trace exporter's structural invariants, and the Observation session's
+attach/detach lifecycle.
+"""
+
+import functools
+import json
+
+import pytest
+
+from repro.core import Process, Simulator
+from repro.core.parallel import LogicalProcess, SequentialExecutor
+from repro.core.timedriven import TimeDrivenSimulator
+from repro.obs import (Observation, SpanStatus, Telemetry, Tracer,
+                       callback_name, chrome_trace, profile_csv,
+                       profile_markdown, HandlerProfiler)
+
+
+def _observed_sim(**kw):
+    obs = Observation(**kw)
+    sim = Simulator(seed=1)
+    obs.attach(sim, track="t0")
+    return obs, sim
+
+
+class TestCausalParentage:
+    def test_child_scheduled_during_firing_gets_parent(self):
+        obs, sim = _observed_sim()
+
+        def root():
+            sim.schedule(1.0, leaf, label="leaf")
+
+        def leaf():
+            pass
+
+        sim.schedule(0.0, root, label="root")
+        sim.run()
+        spans = {s.label: s for s in obs.tracer.spans}
+        assert spans["leaf"].parent is spans["root"]
+        assert spans["root"].parent is None
+
+    def test_chain_follows_generations(self):
+        obs, sim = _observed_sim()
+
+        def hop(i):
+            if i < 3:
+                sim.schedule(1.0, hop, i + 1, label=f"hop{i+1}")
+
+        sim.schedule(0.0, hop, 0, label="hop0")
+        sim.run()
+        tracer = obs.tracer
+        last = next(s for s in tracer.spans if s.label == "hop3")
+        assert [s.label for s in tracer.chain(last)] == [
+            "hop0", "hop1", "hop2", "hop3"]
+        root = next(s for s in tracer.spans if s.label == "hop0")
+        assert [s.label for s in tracer.children_of(root)] == ["hop1"]
+
+    def test_externally_scheduled_events_are_roots(self):
+        obs, sim = _observed_sim()
+        sim.schedule(0.0, lambda: None, label="a")
+        sim.schedule(1.0, lambda: None, label="b")
+        sim.run()
+        assert all(s.parent is None for s in obs.tracer.spans)
+
+    def test_process_resumptions_stay_in_the_chain(self):
+        obs, sim = _observed_sim()
+
+        def proc():
+            yield 1.0
+            yield 2.0
+
+        Process(sim, proc(), name="p")
+        sim.run()
+        fired = obs.tracer.fired_spans()
+        assert len(fired) == 3  # spawn step + two timeout resumptions
+        # each resumption is caused by the previous step's firing
+        assert fired[1].parent is fired[0]
+        assert fired[2].parent is fired[1]
+        # and the lifecycle markers made it on
+        names = [m.name for m in obs.tracer.markers]
+        assert "spawn:p" in names and "done:p" in names
+
+
+class TestCancellation:
+    def test_cancelled_event_resolved_at_finalize(self):
+        obs, sim = _observed_sim()
+        ev = sim.schedule(5.0, lambda: None, label="doomed")
+        sim.schedule(1.0, lambda: None, label="live")
+        ev.cancel()
+        sim.run()
+        obs.close()
+        by = {s.label: s.status for s in obs.tracer.spans}
+        assert by["doomed"] == SpanStatus.CANCELLED
+        assert by["live"] == SpanStatus.FIRED
+        counts = obs.tracer.counts()
+        assert counts["cancelled"] == 1 and counts["fired"] == 1
+
+    def test_fired_spans_drop_event_reference(self):
+        obs, sim = _observed_sim()
+        sim.schedule(0.0, lambda: None)
+        sim.run()
+        assert all(s.event is None for s in obs.tracer.fired_spans())
+
+
+class TestProfiler:
+    def test_bound_methods_aggregate_under_one_key(self):
+        class Sink:
+            def __init__(self):
+                self.n = 0
+
+            def handle(self):
+                self.n += 1
+
+        obs, sim = _observed_sim(trace=False)
+        sink = Sink()
+        for i in range(10):
+            sim.schedule(float(i), sink.handle)
+        sim.run()
+        rows = obs.profiler.rows()
+        assert len(rows) == 1
+        row = rows[0]
+        assert row.count == 10 and sink.n == 10
+        assert row.key.endswith("Sink.handle")
+        assert row.total_ns > 0 and row.max_ns >= row.mean_ns >= row.min_ns
+        assert obs.profiler.share(row) == pytest.approx(1.0)
+
+    def test_distinct_handlers_get_distinct_rows(self):
+        obs, sim = _observed_sim(trace=False)
+
+        def a():
+            pass
+
+        def b():
+            pass
+
+        sim.schedule(0.0, a)
+        sim.schedule(1.0, b)
+        sim.schedule(2.0, a)
+        sim.run()
+        by_key = {r.key: r.count for r in obs.profiler.rows()}
+        assert sum(by_key.values()) == 3 and len(by_key) == 2
+
+    def test_callback_name_variants(self):
+        assert callback_name(callback_name).endswith("spans.callback_name")
+        part = functools.partial(callback_name, None)
+        assert callback_name(part) == callback_name(callback_name)
+
+        class C:
+            def m(self):
+                pass
+
+        assert callback_name(C().m).endswith("C.m")
+
+    def test_markdown_and_csv_reductions(self):
+        prof = HandlerProfiler()
+        for _ in range(5):
+            prof.add(callback_name, 1000)
+        md = profile_markdown(prof, top=5)
+        assert md.splitlines()[0].startswith("| handler |")
+        assert "callback_name" in md
+        csv = profile_csv(prof)
+        assert csv.startswith("handler,firings,total_ns")
+        assert ",5," in csv
+
+
+class TestTelemetry:
+    def test_snapshot_counts_every_firing(self):
+        obs, sim = _observed_sim(trace=False, profile=False)
+        for i in range(50):
+            sim.schedule(float(i), lambda: None)
+        sim.run()
+        snap = obs.telemetry.snapshot(sim)
+        assert snap["events"] == 50
+        assert snap["sim_time"] == pytest.approx(49.0)
+        assert snap["wall_seconds"] > 0
+        assert snap["events_per_sec"] > 0
+        assert snap["queue_depth"] == 0
+
+    def test_heartbeat_lines_reach_the_sink(self):
+        lines = []
+        tel = Telemetry(heartbeat=0.0, sink=lines.append, check_every=1)
+        sim = Simulator()
+        obs = Observation(trace=False, profile=False, telemetry=False)
+        obs.telemetry = tel
+        obs.attach(sim)
+        for i in range(5):
+            sim.schedule(float(i), lambda: None)
+        sim.run()
+        assert lines and all(line.startswith("[obs]") for line in lines)
+        assert tel.heartbeats == len(lines)
+
+
+class TestChromeExport:
+    def _traced_run(self):
+        obs, sim = _observed_sim()
+
+        def root():
+            sim.schedule(1.0, lambda: None, label="child")
+
+        sim.schedule(0.0, root, label="root")
+        doomed = sim.schedule(9.0, lambda: None, label="doomed")
+        doomed.cancel()
+        sim.run()
+        return obs
+
+    def test_structure_and_json_round_trip(self):
+        obs = self._traced_run()
+        payload = obs.chrome_trace()
+        text = json.dumps(payload)  # must be serializable as-is
+        back = json.loads(text)
+        events = back["traceEvents"]
+        assert events, "trace must be non-empty"
+        phases = {e["ph"] for e in events}
+        assert {"M", "X"} <= phases
+        assert back["otherData"]["tracer"]["fired"] == 2
+        # cancelled events never become slices
+        assert not any(e.get("name") == "doomed" for e in events
+                       if e["ph"] == "X")
+
+    def test_flow_arrows_pair_up_and_link_cause_to_effect(self):
+        obs = self._traced_run()
+        events = obs.chrome_trace()["traceEvents"]
+        starts = [e for e in events if e["ph"] == "s"]
+        ends = [e for e in events if e["ph"] == "f"]
+        assert len(starts) == len(ends) == 1
+        assert starts[0]["id"] == ends[0]["id"]
+        assert starts[0]["cat"] == "causal"
+        slices = {e["name"]: e for e in events if e["ph"] == "X"}
+        assert starts[0]["ts"] == slices["root"]["ts"]
+        assert ends[0]["ts"] == slices["child"]["ts"]
+
+    def test_slice_args_carry_sim_coordinates(self):
+        obs = self._traced_run()
+        events = obs.chrome_trace()["traceEvents"]
+        child = next(e for e in events if e["ph"] == "X" and e["name"] == "child")
+        assert child["args"]["t_sim"] == pytest.approx(1.0)
+        assert child["args"]["scheduled_at"] == pytest.approx(0.0)
+        assert child["dur"] >= 0
+
+    def test_export_chrome_writes_loadable_file(self, tmp_path):
+        obs = self._traced_run()
+        path = tmp_path / "trace.json"
+        n = obs.export_chrome(path)
+        data = json.loads(path.read_text())
+        assert len(data["traceEvents"]) == n > 0
+
+    def test_trace_disabled_raises(self):
+        obs = Observation(trace=False)
+        with pytest.raises(ValueError, match="tracing"):
+            obs.chrome_trace()
+        with pytest.raises(ValueError, match="profiling"):
+            Observation(profile=False).profile_table()
+
+
+class TestCrossLP:
+    def _ping_pong(self, rounds=6):
+        a, b = LogicalProcess("A", seed=1), LogicalProcess("B", seed=2)
+        a.connect(b, 1.0)
+        b.connect(a, 1.0)
+
+        def on_ball(lp, msg):
+            if msg.payload < rounds:
+                other = "B" if lp.name == "A" else "A"
+                lp.send(other, "ball", msg.payload + 1)
+
+        a.on_message("ball", on_ball)
+        b.on_message("ball", on_ball)
+        a.sim.schedule(0.0, a.send, "B", "ball", 0)
+        return [a, b]
+
+    def test_parent_grafted_across_lps(self):
+        lps = self._ping_pong()
+        obs = Observation().attach_lps(lps)
+        SequentialExecutor().run(lps, until=100.0)
+        obs.close()
+        remote = [s for s in obs.tracer.spans if s.remote]
+        assert remote, "cross-LP deliveries must be marked remote"
+        for span in remote:
+            assert span.parent is not None
+            assert span.parent.track != span.track
+        assert obs.tracer.counts()["cross_lp_links"] == len(remote)
+
+    def test_chain_crosses_tracks(self):
+        lps = self._ping_pong(rounds=4)
+        obs = Observation().attach_lps(lps)
+        SequentialExecutor().run(lps, until=100.0)
+        deliveries = [s for s in obs.tracer.spans if s.remote
+                      and s.status == SpanStatus.FIRED]
+        last = max(deliveries, key=lambda s: s.due_sim)
+        tracks = [s.track for s in obs.tracer.chain(last)]
+        assert "A" in tracks and "B" in tracks
+        assert len(tracks) > 2  # the whole rally, not one hop
+
+    def test_remote_flows_render_in_chrome_trace(self):
+        lps = self._ping_pong()
+        obs = Observation().attach_lps(lps)
+        SequentialExecutor().run(lps, until=100.0)
+        events = obs.chrome_trace()["traceEvents"]
+        assert any(e["ph"] == "s" and e["cat"] == "causal-remote"
+                   for e in events)
+        thread_names = {e["args"]["name"] for e in events
+                        if e["ph"] == "M" and e["name"] == "thread_name"}
+        assert {"A", "B"} <= thread_names
+
+
+class TestTransfersAndJobs:
+    def test_transfer_becomes_async_interval(self):
+        from repro.network import (FileSpec, FileTransferService, FlowNetwork,
+                                   Topology)
+
+        topo = Topology()
+        topo.add_link("a", "b", 100.0, 0.0)
+        obs, sim = (Observation(), Simulator())
+        obs.attach(sim, track="net")
+        fts = FileTransferService(sim, FlowNetwork(sim, topo, efficiency=1.0))
+        fts.fetch(FileSpec("data.bin", 100.0), "a", "b")
+        sim.run()
+        spans = obs.tracer.async_spans
+        assert len(spans) == 1
+        aspan = spans[0]
+        assert not aspan.open and aspan.category == "transfer"
+        assert "data.bin" in aspan.name
+        assert aspan.end_sim > aspan.begin_sim
+        assert aspan.args["bytes"] == 100.0
+        events = obs.chrome_trace()["traceEvents"]
+        assert {e["ph"] for e in events} >= {"b", "e"}
+
+    def test_job_transitions_become_markers(self):
+        from repro.middleware import Job, JobState
+
+        obs = Observation().observe_jobs()
+        try:
+            job = Job(id=7, length=10.0)
+            job.transition(JobState.QUEUED, 1.0)
+            job.transition(JobState.RUNNING, 2.0)
+            job.transition(JobState.DONE, 5.0)
+        finally:
+            obs.unobserve_jobs()
+        names = [m.name for m in obs.tracer.markers]
+        assert names == ["job7:queued", "job7:running", "job7:done"]
+        assert all(m.track == "jobs" for m in obs.tracer.markers)
+        # the hook is global state: it must be gone after unobserve
+        from repro.middleware import jobs as _jobs
+        assert _jobs._job_observer is None
+
+    def test_observe_jobs_without_tracer_is_a_noop(self):
+        from repro.middleware import jobs as _jobs
+
+        obs = Observation(trace=False).observe_jobs()
+        try:
+            assert _jobs._job_observer is None
+        finally:
+            obs.unobserve_jobs()
+
+
+class TestObservationLifecycle:
+    def test_attach_is_idempotent(self):
+        obs = Observation()
+        sim = Simulator()
+        obs.attach(sim).attach(sim)
+        assert len(obs.bindings) == 1
+        assert sim._obs is obs.bindings[0]
+
+    def test_detach_restores_null_object(self):
+        obs = Observation()
+        sim = Simulator()
+        obs.attach(sim)
+        obs.detach(sim)
+        assert sim._obs is None and not obs.bindings
+        sim.schedule(0.0, lambda: None)
+        sim.run()
+        assert len(obs.tracer.spans) == 0  # detached => unobserved
+
+    def test_close_finalizes_and_detaches_everything(self):
+        obs = Observation()
+        sims = [Simulator(), Simulator()]
+        for i, sim in enumerate(sims):
+            obs.attach(sim, track=f"s{i}")
+        obs.close()
+        assert all(sim._obs is None for sim in sims)
+        assert obs.tracer._finalized
+
+    def test_summary_reports_every_facet(self):
+        obs, sim = _observed_sim()
+        sim.schedule(0.0, lambda: None)
+        sim.run()
+        summary = obs.summary()
+        assert summary["trace"]["fired"] == 1
+        assert summary["profile"]["firings"] == 1
+        assert summary["telemetry"]["events"] == 1
+
+    def test_metrics_csv_combines_sections(self):
+        obs, sim = _observed_sim()
+        sim.schedule(0.0, lambda: None, label="x")
+        sim.run()
+        csv = obs.metrics_csv()
+        assert "metric,value" in csv and "handler,firings" in csv
+
+
+class TestEngineIntegration:
+    def test_step_is_instrumented(self):
+        obs, sim = _observed_sim()
+        sim.schedule(0.0, lambda: None, label="stepped")
+        assert sim.step() is True
+        assert obs.tracer.fired_spans()[0].label == "stepped"
+
+    def test_time_driven_loop_is_instrumented(self):
+        obs = Observation()
+        sim = TimeDrivenSimulator(tick=1.0)
+        obs.attach(sim, track="td")
+        sim.schedule(0.5, lambda: None, label="a")
+        sim.schedule(1.5, lambda: None, label="b")
+        sim.run(until=3.0)
+        obs.close()
+        assert obs.tracer.counts()["fired"] == 2
+        assert obs.tracer.counts()["pending"] == 0
+
+    def test_handler_exception_still_seals_span(self):
+        obs, sim = _observed_sim()
+
+        def boom():
+            raise RuntimeError("boom")
+
+        sim.schedule(0.0, boom, label="boom")
+        with pytest.raises(RuntimeError):
+            sim.run()
+        span = obs.tracer.spans[0]
+        assert span.status == SpanStatus.FIRED and span.dur_ns > 0
+        # the binding's current-firing slot must not leak
+        assert obs.bindings[0].current is None
+
+    def test_standalone_tracer_repr_and_iter(self):
+        tracer = Tracer()
+        assert len(tracer) == 0 and list(tracer) == []
+        assert chrome_trace(tracer)["traceEvents"]  # metadata only, still valid
