@@ -6,12 +6,18 @@ Usage::
     PYTHONPATH=src python benchmarks/run_kernel_baseline.py            # full
     python benchmarks/run_kernel_baseline.py --smoke                   # CI
     python benchmarks/run_kernel_baseline.py --repeats 5 --out /tmp/b.json
+    python benchmarks/run_kernel_baseline.py --section e7              # E7 only
 
 The full run measures every queue structure under the fused single-call
 dispatch protocol and the legacy peek+pop protocol (see
 ``bench_kernel_hotpath.py``) and writes the JSON baseline at the repo root.
 ``--smoke`` shrinks the workloads ~50x and skips the speedup floor check so
 the harness can run on noisy CI machines without flaking.
+
+``--section`` selects what to refresh: ``kernel`` (the hot-path sweep),
+``e7`` (the executor comparison from ``bench_e7_committed.py``, merged as
+the ``e7_executors`` key), or ``all``.  A partial refresh merges into the
+existing baseline file instead of overwriting the other section.
 """
 
 from __future__ import annotations
@@ -30,6 +36,7 @@ for p in (str(_HERE), str(_ROOT / "src")):
     if p not in sys.path:
         sys.path.insert(0, p)
 
+from bench_e7_committed import collect_e7  # noqa: E402
 from bench_kernel_hotpath import collect_baseline  # noqa: E402
 
 #: acceptance floor for the structures the engine actually defaults to /
@@ -48,13 +55,35 @@ def main(argv: list[str] | None = None) -> int:
                     help="output JSON path")
     ap.add_argument("--smoke", action="store_true",
                     help="tiny workloads, no speedup floor (CI smoke)")
+    ap.add_argument("--section", choices=("all", "kernel", "e7"),
+                    default="all",
+                    help="which baseline section(s) to refresh; partial "
+                         "refreshes merge into the existing file")
     args = ap.parse_args(argv)
 
     repeats = 1 if args.smoke else args.repeats
     scale = 0.02 if args.smoke else args.scale
 
     t0 = time.time()
-    baseline = collect_baseline(repeats=repeats, scale=scale)
+    if args.section == "e7" and args.out.exists():
+        baseline = json.loads(args.out.read_text())
+    elif args.section in ("all", "kernel"):
+        kernel = collect_baseline(repeats=repeats, scale=scale)
+        if args.section == "kernel" and args.out.exists():
+            baseline = json.loads(args.out.read_text())
+            baseline.update(kernel)
+        else:
+            baseline = kernel
+    else:
+        baseline = {}
+
+    if args.section in ("all", "e7"):
+        e7_scale = 0.2 if args.smoke else 1.0
+        baseline["e7_executors"] = collect_e7(
+            jobs_per_site=max(20, int(150 * e7_scale)),
+            horizon=max(50.0, 400.0 * e7_scale),
+            repeats=repeats)
+
     baseline["created"] = time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime())
     baseline["python"] = platform.python_version()
     baseline["platform"] = platform.platform()
@@ -64,23 +93,35 @@ def main(argv: list[str] | None = None) -> int:
     args.out.write_text(json.dumps(baseline, indent=2, sort_keys=True) + "\n")
 
     print(f"wrote {args.out} ({baseline['wall_seconds']}s)")
-    header = f"{'structure':<10} {'scenario':<8} {'fused ev/s':>12} {'legacy ev/s':>12} {'speedup':>8}"
-    print(header)
-    print("-" * len(header))
-    for kind, scenarios in baseline["results"].items():
-        for scenario, row in scenarios.items():
-            print(f"{kind:<10} {scenario:<8} {row['fused_eps']:>12,.0f} "
-                  f"{row['legacy_eps']:>12,.0f} {row['speedup']:>7.2f}x")
+    if args.section in ("all", "kernel") and "results" in baseline:
+        header = f"{'structure':<10} {'scenario':<8} {'fused ev/s':>12} {'legacy ev/s':>12} {'speedup':>8}"
+        print(header)
+        print("-" * len(header))
+        for kind, scenarios in baseline["results"].items():
+            for scenario, row in scenarios.items():
+                print(f"{kind:<10} {scenario:<8} {row['fused_eps']:>12,.0f} "
+                      f"{row['legacy_eps']:>12,.0f} {row['speedup']:>7.2f}x")
 
-    obs = baseline["obs_overhead"]
-    print(f"obs overhead ({obs['structure']} {obs['scenario']}): "
-          f"pre-obs {obs['pre_obs_eps']:,.0f} ev/s, "
-          f"disabled {obs['disabled_eps']:,.0f} ev/s "
-          f"({obs['disabled_overhead_pct']:+.2f}%), "
-          f"enabled {obs['enabled_eps']:,.0f} ev/s "
-          f"({obs['enabled_overhead_pct']:+.2f}%)")
+        obs = baseline["obs_overhead"]
+        print(f"obs overhead ({obs['structure']} {obs['scenario']}): "
+              f"pre-obs {obs['pre_obs_eps']:,.0f} ev/s, "
+              f"disabled {obs['disabled_eps']:,.0f} ev/s "
+              f"({obs['disabled_overhead_pct']:+.2f}%), "
+              f"enabled {obs['enabled_eps']:,.0f} ev/s "
+              f"({obs['enabled_overhead_pct']:+.2f}%)")
 
-    if not args.smoke:
+    if "e7_executors" in baseline:
+        e7 = baseline["e7_executors"]
+        hdr = (f"{'executor':<16} {'cmt ev/s':>10} {'eff':>6} {'rollb':>6} "
+               f"{'antis':>6} {'nulls':>6}")
+        print(hdr)
+        print("-" * len(hdr))
+        for name, row in e7["results"].items():
+            print(f"{name:<16} {row['committed_eps']:>10,.0f} "
+                  f"{row['efficiency']:>6.3f} {row['rollbacks']:>6} "
+                  f"{row['anti_messages']:>6} {row['null_messages']:>6}")
+
+    if not args.smoke and args.section in ("all", "kernel"):
         failures = [k for k in FLOOR_KINDS
                     if baseline["headline_speedup"][k] < SPEEDUP_FLOOR]
         if failures:

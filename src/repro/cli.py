@@ -13,6 +13,7 @@ python -m repro validate [--rho R] [--jobs N]           # M/M/1 vs theory
 python -m repro validate --trace out.json --profile     # + obs artifacts
 python -m repro profile [--model mm1|hold] [...]        # obs hot-spot hunt
 python -m repro classify                                # classify live engines
+python -m repro executors [--executor all] [...]        # E7 executor shoot-out
 ```
 """
 
@@ -79,6 +80,31 @@ def build_parser() -> argparse.ArgumentParser:
                         help="emit a progress line every SECS wall seconds")
 
     sub.add_parser("classify", help="classify the live kernel engines")
+
+    p_ex = sub.add_parser(
+        "executors",
+        help="run the partitioned-ring model under the distributed executors")
+    p_ex.add_argument("--executor", default="all",
+                      choices=("sequential", "cmb", "window",
+                               "window-threaded", "optimistic", "all"),
+                      help="which synchronization protocol (default: all, "
+                           "which also cross-checks committed streams)")
+    p_ex.add_argument("--sites", type=int, default=4,
+                      help="ring size (one LP per site)")
+    p_ex.add_argument("--jobs", type=int, default=150,
+                      help="local jobs per site")
+    p_ex.add_argument("--until", type=float, default=400.0,
+                      help="simulation horizon")
+    p_ex.add_argument("--lookahead", type=float, default=1.0,
+                      help="channel lookahead (conservative blocking bound)")
+    p_ex.add_argument("--seed", type=int, default=0)
+    p_ex.add_argument("--batch", type=int, default=32,
+                      help="optimistic: events per LP per round")
+    p_ex.add_argument("--checkpoint-every", type=int, default=8,
+                      help="optimistic: firings between state snapshots")
+    p_ex.add_argument("--throttle", type=float, default=None,
+                      help="optimistic: optimism window beyond GVT "
+                           "(default unbounded)")
     return parser
 
 
@@ -222,6 +248,56 @@ def _cmd_classify(_args) -> int:
     return 0
 
 
+def _cmd_executors(args) -> int:
+    from .core.optimistic import OptimisticExecutor
+    from .core.parallel import (CMBExecutor, SequentialExecutor,
+                                WindowExecutor)
+    from .workloads.partitioned import build_partitioned_ring
+
+    factories = {
+        "sequential": SequentialExecutor,
+        "cmb": CMBExecutor,
+        "window": WindowExecutor,
+        "window-threaded": lambda: WindowExecutor(threads=4),
+        "optimistic": lambda: OptimisticExecutor(
+            batch=args.batch, checkpoint_every=args.checkpoint_every,
+            throttle=args.throttle),
+    }
+    names = (list(factories) if args.executor == "all"
+             else [args.executor])
+    print(f"partitioned ring: K={args.sites} sites, {args.jobs} jobs/site, "
+          f"horizon {args.until}, lookahead {args.lookahead}, "
+          f"seed {args.seed}")
+    header = (f"  {'executor':<16} {'events':>8} {'committed':>9} "
+              f"{'rollb':>6} {'antis':>6} {'nulls':>6} {'eff':>6} "
+              f"{'wall s':>8} {'cmt ev/s':>10}")
+    print(header)
+    print("  " + "-" * (len(header) - 2))
+    streams = {}
+    for name in names:
+        model = build_partitioned_ring(
+            k=args.sites, lookahead=args.lookahead, seed=args.seed,
+            jobs_per_site=args.jobs, horizon=args.until)
+        stats = factories[name]().run(model.lps, until=args.until)
+        eps = (stats.committed_events / stats.wall_seconds
+               if stats.wall_seconds > 0 else 0.0)
+        print(f"  {name:<16} {stats.events:>8,} {stats.committed_events:>9,} "
+              f"{stats.rollbacks:>6} {stats.anti_messages:>6} "
+              f"{stats.null_messages:>6} {stats.efficiency:>6.3f} "
+              f"{stats.wall_seconds:>8.3f} {eps:>10,.0f}")
+        streams[name] = repr((model.results(), model.monitor_stats()))
+    if len(streams) > 1:
+        ref = streams["sequential"]
+        diverged = [n for n, s in streams.items() if s != ref]
+        if diverged:
+            print(f"FAIL: committed streams diverged from sequential: "
+                  f"{', '.join(diverged)}", file=sys.stderr)
+            return 1
+        print(f"  committed streams identical across all "
+              f"{len(streams)} executors")
+    return 0
+
+
 _COMMANDS = {
     "table1": _cmd_table1,
     "survey": _cmd_survey,
@@ -230,6 +306,7 @@ _COMMANDS = {
     "validate": _cmd_validate,
     "profile": _cmd_profile,
     "classify": _cmd_classify,
+    "executors": _cmd_executors,
 }
 
 

@@ -11,6 +11,7 @@ Everything in :mod:`repro` runs on this kernel.  Quick tour:
 * :mod:`~repro.core.rng` — reproducible random streams.
 * :mod:`~repro.core.monitor` — output statistics.
 * :mod:`~repro.core.parallel` — distributed execution (LPs, CMB, windows).
+* :mod:`~repro.core.optimistic` — optimistic execution (Time Warp).
 """
 
 from .engine import Simulator
@@ -33,6 +34,14 @@ from .errors import (
 )
 from .events import Event, Priority
 from .monitor import Counter, Monitor, Tally, TimeWeighted, ascii_plot
+from .optimistic import LPReport, OptimisticExecutor
+from .parallel import (
+    CMBExecutor,
+    ExecutionStats,
+    LogicalProcess,
+    SequentialExecutor,
+    WindowExecutor,
+)
 from .process import AllOf, AnyOf, Process, Signal, Waitable, spawn, timer
 from .queues import QUEUE_FACTORIES, EventQueue, make_queue
 from .resources import Container, Request, Resource, Store
@@ -68,6 +77,13 @@ __all__ = [
     "TimeWeighted",
     "Counter",
     "ascii_plot",
+    "LogicalProcess",
+    "SequentialExecutor",
+    "CMBExecutor",
+    "WindowExecutor",
+    "OptimisticExecutor",
+    "LPReport",
+    "ExecutionStats",
     "TraceRecord",
     "TraceRecorder",
     "read_trace",

@@ -27,6 +27,12 @@ lets benchmark E7 measure *why*, on real protocols:
       concurrently — optionally on a real thread pool, which also
       demonstrates the GIL-bound ceiling of threaded Python DES.
 
+The optimistic half of the axis — Jefferson's Time Warp, with rollback,
+anti-messages, and GVT-keyed fossil collection — lives in
+:mod:`repro.core.optimistic` (:class:`~repro.core.optimistic.OptimisticExecutor`)
+and builds on the :meth:`LogicalProcess.snapshot` / :meth:`LogicalProcess.restore`
+state-saving protocol defined here.
+
 All executors are deterministic: cross-LP message merge order is fixed by
 ``(receive time, source name, send sequence)``.
 """
@@ -37,11 +43,12 @@ import math
 import threading
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Any, Callable, Optional, Sequence
 
 from .engine import Simulator
 from .errors import ConfigurationError, SchedulingError
-from .events import Priority
+from .events import Event, Priority
 
 __all__ = [
     "Message",
@@ -52,6 +59,40 @@ __all__ = [
     "CMBExecutor",
     "WindowExecutor",
 ]
+
+
+def _clone_event(ev: Event) -> Event:
+    """A fresh, live :class:`Event` record with the same schedule identity.
+
+    Clones share ``fn``/``args`` with the original (model state reached
+    through them is saved separately, via the LP's registered state
+    providers) but own their liveness: cancelling or firing the original
+    after the snapshot cannot corrupt the saved copy, and vice versa.
+    """
+    return Event(ev.time, ev.seq, ev.fn, ev.args,
+                 dict(ev.kwargs) if ev.kwargs else None,
+                 priority=ev.priority, label=ev.label)
+
+
+def _validate_horizon(lps: Sequence["LogicalProcess"], until: float) -> None:
+    """Reject horizons no executor can terminate against.
+
+    ``until`` must not be NaN, and an *infinite* horizon is only meaningful
+    when the model actually has channels: with zero channels every executor
+    degenerates to "run each partition to exhaustion", which never returns
+    for self-regenerating models and gives no epoch/round structure to
+    measure.  Raising beats silently spinning forever.
+    """
+    if math.isnan(until):
+        raise ConfigurationError("executor horizon `until` must not be NaN")
+    if math.isinf(until) and until > 0:
+        if not any(lp.outputs for lp in lps):
+            raise ConfigurationError(
+                "infinite horizon with zero channels: executors derive their "
+                "progress bounds from channel lookahead, so a channel-free "
+                "model under until=inf would run each partition forever; "
+                "pass a finite `until` (or run the partition simulators "
+                "directly)")
 
 
 @dataclass(frozen=True, slots=True)
@@ -141,6 +182,13 @@ class LogicalProcess:
         self._handlers: dict[str, Callable[["LogicalProcess", Message], None]] = {}
         self._send_seq = 0
         self.events_executed_total = 0
+        #: Time Warp hook (:class:`repro.core.optimistic.OptimisticExecutor`),
+        #: installed for the duration of an optimistic run.  Null-object
+        #: protocol like ``sim._obs``: conservative executors never set it.
+        self._tw = None
+        #: ``(get, set)`` pairs registered by :meth:`register_state`.
+        self._state_providers: list[tuple[Callable[[], Any],
+                                          Callable[[Any], None]]] = []
 
     def connect(self, dst: "LogicalProcess", lookahead: float) -> Channel:
         """Create (or return) the channel ``self -> dst``."""
@@ -168,6 +216,13 @@ class LogicalProcess:
         self._send_seq += 1
         msg = Message(self.sim.now + ch.lookahead + extra_delay, kind, payload,
                       self.name, self._send_seq)
+        tw = self._tw
+        if tw is not None:
+            # Optimistic run: the Time Warp executor transports the message
+            # (logging it for anti-message cancellation, suppressing
+            # re-sends during coast-forward) and calls the obs hooks itself.
+            tw.on_send(self, ch, msg)
+            return msg
         obs = self.sim._obs
         if obs is not None:
             # The tracer remembers which local firing produced this message
@@ -175,6 +230,77 @@ class LogicalProcess:
             obs.on_message_send(msg)
         ch.send(msg)
         return msg
+
+    # -- optimistic state saving ------------------------------------------------
+
+    def register_state(self, get: Callable[[], Any],
+                       set: Callable[[Any], None]) -> "LogicalProcess":
+        """Register a model state provider for Time Warp rollback; chainable.
+
+        *get* must return a **fresh copy** of the provider's state (picklable
+        or plainly copyable — a ``dict(...)``/``list(...)`` of value types is
+        the idiom); *set* must install such a blob without mutating it in
+        place (``log[:] = blob`` rather than ``log = blob``), because one
+        saved blob may be restored multiple times.
+
+        Kernel-owned state (clock, event list, RNG streams, send sequence)
+        is saved automatically by :meth:`snapshot`; only state the model
+        mutates from its handlers needs a provider.  Conservative executors
+        never call the providers.
+        """
+        self._state_providers.append((get, set))
+        return self
+
+    def snapshot(self) -> dict:
+        """Capture the LP's full rollback state (Time Warp checkpoint).
+
+        Saves the local clock, the scheduling sequence counter, the send
+        sequence, clones of every live pending event, the exact state of
+        every RNG stream drawn so far, and one blob per registered state
+        provider.  The snapshot is independent of future execution: firing
+        or cancelling events after the call cannot corrupt it.
+        """
+        sim = self.sim
+        queue = sim._queue
+        live = queue.drain()
+        for ev in live:
+            queue.push(ev)
+        return {
+            "now": sim._now,
+            "seq": sim._seq,
+            "send_seq": self._send_seq,
+            "events": [_clone_event(ev) for ev in live],
+            "rng": {name: st._gen.bit_generator.state
+                    for name, st in sim.streams._streams.items()},
+            "model": [get() for get, _ in self._state_providers],
+        }
+
+    def restore(self, snap: dict) -> None:
+        """Roll the LP back to a :meth:`snapshot` (idempotent per snapshot).
+
+        Rebuilds the event list from clones of the saved events, restores
+        clock/sequence counters, rewinds every RNG stream (streams first
+        created *after* the snapshot are discarded so re-execution recreates
+        them from their deterministic name-derived seed), and hands each
+        provider its saved blob.  The raw ``events_executed`` counter is
+        *not* rewound — it deliberately counts rolled-back work.
+        """
+        sim = self.sim
+        fresh = type(sim._queue)()
+        for ev in snap["events"]:
+            fresh.push(_clone_event(ev))
+        sim._queue = fresh
+        sim._now = snap["now"]
+        sim._seq = snap["seq"]
+        self._send_seq = snap["send_seq"]
+        streams = sim.streams._streams
+        saved_rng = snap["rng"]
+        for name in [n for n in streams if n not in saved_rng]:
+            del streams[name]
+        for name, state in saved_rng.items():
+            sim.streams.stream(name)._gen.bit_generator.state = state
+        for (_, set_state), blob in zip(self._state_providers, snap["model"]):
+            set_state(blob)
 
     def send_null(self, lower_bound: float) -> None:
         """Promise all neighbours no message below ``lower_bound + lookahead``."""
@@ -273,6 +399,14 @@ class ExecutionStats:
     wall_seconds: float = 0.0
     #: mean events per epoch per LP — the available-parallelism metric
     parallelism: float = 0.0
+    #: Time Warp accounting: conservative executors never roll back, so
+    #: ``committed_events == events`` and ``efficiency == 1.0`` for them.
+    rollbacks: int = 0
+    rolled_back_events: int = 0
+    anti_messages: int = 0
+    committed_events: int = 0
+    #: committed / executed — the optimism-waste ratio
+    efficiency: float = 1.0
 
 
 def _collect_stats(name: str, lps: Sequence[LogicalProcess],
@@ -281,7 +415,8 @@ def _collect_stats(name: str, lps: Sequence[LogicalProcess],
     real = sum(ch.messages_sent for lp in lps for ch in lp.outputs.values())
     events = sum(lp.events_executed_total for lp in lps)
     stats = ExecutionStats(name, len(lps), events=events, null_messages=nulls,
-                           real_messages=real, epochs=epochs)
+                           real_messages=real, epochs=epochs,
+                           committed_events=events)
     if epochs > 0 and lps:
         stats.parallelism = events / epochs / len(lps)
     return stats
@@ -293,6 +428,8 @@ class SequentialExecutor:
     name = "sequential"
 
     def run(self, lps: Sequence[LogicalProcess], until: float) -> ExecutionStats:
+        _validate_horizon(lps, until)
+        wall0 = perf_counter()
         steps = 0
         while True:
             best: Optional[LogicalProcess] = None
@@ -309,7 +446,9 @@ class SequentialExecutor:
             steps += 1
         for lp in lps:
             lp.advance(until)  # drain anything at the horizon boundary
-        return _collect_stats(self.name, lps, steps)
+        stats = _collect_stats(self.name, lps, steps)
+        stats.wall_seconds = perf_counter() - wall0
+        return stats
 
 
 class CMBExecutor:
@@ -327,6 +466,8 @@ class CMBExecutor:
         self.max_rounds = max_rounds
 
     def run(self, lps: Sequence[LogicalProcess], until: float) -> ExecutionStats:
+        _validate_horizon(lps, until)
+        wall0 = perf_counter()
         rounds = 0
         for _ in range(self.max_rounds):
             rounds += 1
@@ -361,7 +502,9 @@ class CMBExecutor:
                                   "likely zero-lookahead cycle")
         for lp in lps:
             lp.advance(until)
-        return _collect_stats(self.name, lps, rounds)
+        stats = _collect_stats(self.name, lps, rounds)
+        stats.wall_seconds = perf_counter() - wall0
+        return stats
 
 
 class WindowExecutor:
@@ -381,6 +524,8 @@ class WindowExecutor:
         self.threads = threads
 
     def run(self, lps: Sequence[LogicalProcess], until: float) -> ExecutionStats:
+        _validate_horizon(lps, until)
+        wall0 = perf_counter()
         lookaheads = [ch.lookahead for lp in lps for ch in lp.outputs.values()]
         min_la = min(lookaheads) if lookaheads else math.inf
         epochs = 0
@@ -402,4 +547,6 @@ class WindowExecutor:
                 pool.shutdown(wait=True)
         for lp in lps:
             lp.advance(until)
-        return _collect_stats(self.name, lps, epochs)
+        stats = _collect_stats(self.name, lps, epochs)
+        stats.wall_seconds = perf_counter() - wall0
+        return stats

@@ -98,7 +98,7 @@ class LadderQueue(EventQueue):
         self._top: list[Event] = []
         self._top_min = float("inf")
         self._top_max = float("-inf")
-        self._top_start = float("-inf")  # events >= this go to Top
+        self._top_start = float("-inf")  # events beyond this go to Top
         self._rungs: list[_Rung] = []
         self._bottom: list[_ReverseKeyed] = []
         self._size = 0
@@ -112,7 +112,11 @@ class LadderQueue(EventQueue):
             event._on_cancel = self._cancel_cb
         t = event.time
         self._size += 1
-        if t >= self._top_start:
+        # Strictly greater: an event at exactly the boundary timestamp must
+        # join the ladder/Bottom tiers, where same-time events sort by the
+        # full (time, priority, seq) key — routing it to Top would let a
+        # lower-priority twin already in the ladder pop first.
+        if t > self._top_start:
             self._top.append(event)
             if t < self._top_min:
                 self._top_min = t

@@ -73,9 +73,10 @@ class ObsBinding:
 
     def begin_fire(self, ev: Any) -> int:
         """About to run *ev*'s handler; returns the wall stamp."""
-        span = ev.obs_span
-        if span is not None:
-            self.current = span
+        # Unconditional: a span-less event (e.g. a clone replayed after a
+        # Time Warp rollback) must not inherit the previous firing's span
+        # as a stale causal parent.
+        self.current = ev.obs_span
         return perf_counter_ns()
 
     def end_fire(self, ev: Any, t0: int) -> None:
@@ -131,6 +132,20 @@ class ObsBinding:
         tracer = self.tracer
         if tracer is not None:
             tracer.on_message_recv(msg, ev.obs_span)
+
+    def on_rollback(self, now: float, straggler_time: float,
+                    restored_to: float, depth_events: int) -> None:
+        """Time Warp rolled this LP back (straggler or anti-message)."""
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.marker(self.track, "rollback",
+                          f"rollback:{self.track}", now,
+                          {"straggler_time": straggler_time,
+                           "restored_to": restored_to,
+                           "depth_events": depth_events})
+        telemetry = self.telemetry
+        if telemetry is not None:
+            telemetry.on_rollback(depth_events)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<ObsBinding track={self.track!r}>"

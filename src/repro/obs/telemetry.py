@@ -40,6 +40,11 @@ class Telemetry:
         self.sink = sink if sink is not None else _stderr_sink
         self.check_every = max(1, int(check_every))
         self.events = 0
+        #: Time Warp accounting (fed by ``ObsBinding.on_rollback``) — zero
+        #: for conservative/sequential runs.
+        self.rollbacks = 0
+        self.rolled_back_events = 0
+        self.max_rollback_depth = 0
         self.start_wall = perf_counter()
         self.start_sim: float | None = None
         self._next_check = self.check_every
@@ -60,6 +65,13 @@ class Telemetry:
                 wall = perf_counter()
                 if wall - self._last_beat_wall >= self.heartbeat:
                     self.beat(sim, wall)
+
+    def on_rollback(self, depth: int) -> None:
+        """Record one Time Warp rollback undoing *depth* events."""
+        self.rollbacks += 1
+        self.rolled_back_events += depth
+        if depth > self.max_rollback_depth:
+            self.max_rollback_depth = depth
 
     # -- reporting -----------------------------------------------------------
 
@@ -95,6 +107,11 @@ class Telemetry:
             "sim_wall_ratio": sim_span / elapsed if elapsed > 0 else 0.0,
             "queue_depth": int(getattr(sim, "pending", 0)) if sim is not None else 0,
             "heartbeats": self.heartbeats,
+            "rollbacks": self.rollbacks,
+            "rolled_back_events": self.rolled_back_events,
+            "max_rollback_depth": self.max_rollback_depth,
+            "commit_efficiency": ((self.events - self.rolled_back_events)
+                                  / self.events if self.events else 1.0),
         }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -23,6 +23,7 @@ from .lhc import (
     analysis_jobs,
     production_schedule,
 )
+from .partitioned import PartitionedRing, build_partitioned_ring
 from .taskfarm import batch_arrival_farm, task_farm
 from .traces import JOB_SUBMIT_KIND, jobs_from_trace, jobs_to_trace
 
@@ -32,6 +33,8 @@ __all__ = [
     "heavy_tail_arrivals",
     "task_farm",
     "batch_arrival_farm",
+    "PartitionedRing",
+    "build_partitioned_ring",
     "layered_dag",
     "fork_join_dag",
     "chain_dag",

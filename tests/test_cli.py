@@ -108,6 +108,23 @@ class TestClassify:
         assert "time-driven" in out
 
 
+class TestExecutors:
+    def test_all_executors_cross_checked(self, capsys):
+        assert main(["executors", "--sites", "3", "--jobs", "25",
+                     "--until", "60", "--seed", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "optimistic" in out and "cmb" in out
+        assert "committed streams identical across all 5 executors" in out
+
+    def test_single_executor_with_knobs(self, capsys):
+        assert main(["executors", "--executor", "optimistic",
+                     "--sites", "3", "--jobs", "25", "--until", "60",
+                     "--batch", "16", "--checkpoint-every", "4",
+                     "--throttle", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "optimistic" in out and "sequential" not in out
+
+
 def test_module_entrypoint_runs():
     import subprocess
     import sys

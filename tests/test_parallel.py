@@ -1,8 +1,11 @@
-"""Tests for distributed execution: LPs, channels, conservative executors."""
+"""Tests for distributed execution: LPs, channels, and all executors."""
+
+import math
 
 import pytest
 
 from repro.core import ConfigurationError, SchedulingError
+from repro.core.optimistic import OptimisticExecutor
 from repro.core.parallel import (
     CMBExecutor,
     Channel,
@@ -12,8 +15,8 @@ from repro.core.parallel import (
 )
 
 EXECUTORS = [SequentialExecutor(), CMBExecutor(), WindowExecutor(),
-             WindowExecutor(threads=2)]
-EXECUTOR_IDS = ["sequential", "cmb", "window", "window-threaded"]
+             WindowExecutor(threads=2), OptimisticExecutor()]
+EXECUTOR_IDS = ["sequential", "cmb", "window", "window-threaded", "optimistic"]
 
 
 def build_ping_pong(rounds=20, lookahead=1.0):
@@ -128,6 +131,43 @@ class TestExecutorEquivalence:
                 reference = log
             else:
                 assert log == reference, f"{name} diverged"
+
+
+class TestHorizonValidation:
+    """Regression: a zero-channel model under `until=inf` used to make every
+    executor spin each partition forever; now it's a clear config error."""
+
+    @staticmethod
+    def _channel_free_lps():
+        lps = [LogicalProcess(f"solo{i}") for i in range(2)]
+
+        def tick(lp):  # self-regenerating: would never exhaust
+            lp.sim.schedule(1.0, tick, lp)
+
+        for lp in lps:
+            lp.sim.schedule(0.0, tick, lp)
+        return lps
+
+    @pytest.mark.parametrize("executor", EXECUTORS, ids=EXECUTOR_IDS)
+    def test_zero_channels_infinite_horizon_rejected(self, executor):
+        with pytest.raises(ConfigurationError, match="zero channels"):
+            executor.run(self._channel_free_lps(), until=math.inf)
+
+    @pytest.mark.parametrize("executor", EXECUTORS, ids=EXECUTOR_IDS)
+    def test_nan_horizon_rejected(self, executor):
+        lps, _ = build_ping_pong(rounds=2)
+        with pytest.raises(ConfigurationError, match="NaN"):
+            executor.run(lps, until=math.nan)
+
+    def test_zero_channels_finite_horizon_still_fine(self):
+        lps = self._channel_free_lps()
+        stats = SequentialExecutor().run(lps, until=5.0)
+        assert stats.events > 0
+
+    def test_channels_with_infinite_horizon_still_fine(self):
+        lps, log = build_ping_pong(rounds=5)
+        SequentialExecutor().run(lps, until=math.inf)
+        assert [entry[2] for entry in log] == list(range(6))
 
 
 class TestProtocolMetrics:

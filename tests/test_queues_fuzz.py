@@ -1,0 +1,165 @@
+"""Differential fuzzing of all five event-list structures.
+
+Every structure is driven through seeded random operation sequences —
+push / cancel / pop / pop_if_le / peek / compact — and compared **after
+every operation** against a plain ``heapq`` reference model.  The events
+are shared objects, so a ``cancel()`` hits both sides; the reference model
+uses pure lazy deletion and never touches the ``_on_cancel`` hook (the real
+queue claims it at push time).
+
+Timestamp distributions are chosen adversarially: uniform spread, heavy
+ties (many events at identical times, where ordering falls to the
+(priority, seq) tiebreak), short-range exponential with rare huge outliers
+(stretches CalendarQueue bucket widths and forces resizes), and a drifting
+narrow band (the LadderQueue's rung-spawn pattern).
+
+Seeds: a fixed set always runs in CI; set ``REPRO_FUZZ_RANDOM=1`` for a
+short randomized burst (each seed is printed in the failure message, and
+``REPRO_FUZZ_SEED=<n>`` replays a single one).
+"""
+
+import heapq
+import itertools
+import os
+import random
+
+import pytest
+
+from repro.core import Event, Priority
+from repro.core.queues import QUEUE_FACTORIES, make_queue
+
+ALL_KINDS = sorted(QUEUE_FACTORIES)
+
+FIXED_SEEDS = [2009, 40962, 777216]
+
+OPS_PER_RUN = 400
+
+#: name -> draw(rng, clock) returning a timestamp >= clock (engines only
+#: ever schedule at or after `now`, and the structures may exploit that).
+DISTRIBUTIONS = {
+    "uniform": lambda rng, clock: clock + rng.uniform(0.0, 100.0),
+    "ties": lambda rng, clock: clock + float(rng.randrange(4)),
+    "skew": lambda rng, clock: clock + (rng.expovariate(8.0)
+                                        if rng.random() > 0.05
+                                        else rng.uniform(1e3, 1e6)),
+    "drift": lambda rng, clock: clock + 0.01 + rng.uniform(0.0, 0.5),
+}
+
+PRIORITIES = (Priority.URGENT, Priority.HIGH, Priority.NORMAL)
+
+
+class RefQueue:
+    """The specification: a heapq with lazy deletion, nothing else."""
+
+    def __init__(self):
+        self._heap = []
+
+    def push(self, ev):
+        heapq.heappush(self._heap, (ev.sort_key, ev))
+
+    def _settle(self):
+        while self._heap and self._heap[0][1]._cancelled:
+            heapq.heappop(self._heap)
+
+    def peek(self):
+        self._settle()
+        return self._heap[0][1] if self._heap else None
+
+    def pop(self):
+        ev = self.peek()
+        if ev is not None:
+            heapq.heappop(self._heap)
+        return ev
+
+    def pop_if_le(self, horizon):
+        ev = self.peek()
+        if ev is None or ev.time > horizon:
+            return None
+        heapq.heappop(self._heap)
+        return ev
+
+    def live(self):
+        return [ev for _, ev in self._heap if not ev._cancelled]
+
+
+def run_differential(kind: str, seed: int, dist_name: str,
+                     ops: int = OPS_PER_RUN) -> None:
+    """Drive one (structure, seed, distribution) run; raises on divergence."""
+    tag = f"kind={kind} seed={seed} dist={dist_name}"
+    rng = random.Random(seed)
+    draw = DISTRIBUTIONS[dist_name]
+    q = make_queue(kind)
+    ref = RefQueue()
+    seq = itertools.count()
+    clock = 0.0
+    outstanding = []  # events pushed and not yet seen popped (may be dead)
+
+    for step in range(ops):
+        where = f"{tag} step={step}"
+        r = rng.random()
+        if r < 0.45 or not ref.live():
+            t = draw(rng, clock)
+            ev = Event(t, next(seq), lambda: None,
+                       priority=rng.choice(PRIORITIES))
+            q.push(ev)
+            ref.push(ev)
+            outstanding.append(ev)
+        elif r < 0.60:
+            victim = rng.choice(outstanding)
+            victim.cancel()  # idempotent; hits both queues via the flag
+        elif r < 0.80:
+            horizon = clock + rng.uniform(0.0, 50.0)
+            got, want = q.pop_if_le(horizon), ref.pop_if_le(horizon)
+            assert got is want, (f"{where}: pop_if_le({horizon}) returned "
+                                 f"{got!r}, reference says {want!r}")
+            if got is not None:
+                clock = max(clock, got.time)
+        elif r < 0.92:
+            got, want = q.pop(), ref.pop()
+            assert got is want, (f"{where}: pop() returned {got!r}, "
+                                 f"reference says {want!r}")
+            if got is not None:
+                clock = max(clock, got.time)
+        elif r < 0.97:
+            got, want = q.peek(), ref.peek()
+            assert got is want, (f"{where}: peek() returned {got!r}, "
+                                 f"reference says {want!r}")
+        else:
+            q.compact()
+        assert q.live_len() == len(ref.live()), (
+            f"{where}: live_len {q.live_len()} != reference "
+            f"{len(ref.live())}")
+
+    # Drain: the full remaining order must match, then both must be empty.
+    while True:
+        got, want = q.pop(), ref.pop()
+        assert got is want, (f"{tag} drain: pop() returned {got!r}, "
+                             f"reference says {want!r}")
+        if want is None:
+            break
+    assert not q, f"{tag}: queue truthy after drain"
+
+
+@pytest.mark.parametrize("dist_name", sorted(DISTRIBUTIONS))
+@pytest.mark.parametrize("seed", FIXED_SEEDS)
+@pytest.mark.parametrize("kind", ALL_KINDS)
+def test_differential_fixed_seeds(kind, seed, dist_name):
+    run_differential(kind, seed, dist_name)
+
+
+@pytest.mark.skipif(not os.environ.get("REPRO_FUZZ_RANDOM")
+                    and not os.environ.get("REPRO_FUZZ_SEED"),
+                    reason="randomized burst: set REPRO_FUZZ_RANDOM=1 "
+                           "(or REPRO_FUZZ_SEED=<n> to replay one seed)")
+def test_differential_random_burst():
+    """A short burst of fresh seeds; any failure prints the seed to replay."""
+    fixed = os.environ.get("REPRO_FUZZ_SEED")
+    if fixed:
+        seeds = [int(fixed)]
+    else:
+        seeds = [random.SystemRandom().randrange(2**32) for _ in range(3)]
+    for seed in seeds:
+        for kind in ALL_KINDS:
+            for dist_name in sorted(DISTRIBUTIONS):
+                # assertion messages carry the seed; REPRO_FUZZ_SEED replays
+                run_differential(kind, seed, dist_name)
