@@ -16,8 +16,10 @@ the harness can run on noisy CI machines without flaking.
 
 ``--section`` selects what to refresh: ``kernel`` (the hot-path sweep),
 ``e7`` (the executor comparison from ``bench_e7_committed.py``, merged as
-the ``e7_executors`` key), or ``all``.  A partial refresh merges into the
-existing baseline file instead of overwriting the other section.
+the ``e7_executors`` key), ``e8`` (the incremental bandwidth-sharing
+comparison from ``bench_flow_sharing.py``, merged as ``e8_flow_sharing``),
+or ``all``.  A partial refresh merges into the existing baseline file
+instead of overwriting the other sections.
 """
 
 from __future__ import annotations
@@ -37,12 +39,18 @@ for p in (str(_HERE), str(_ROOT / "src")):
         sys.path.insert(0, p)
 
 from bench_e7_committed import collect_e7  # noqa: E402
+from bench_flow_sharing import collect_e8  # noqa: E402
 from bench_kernel_hotpath import collect_baseline  # noqa: E402
 
 #: acceptance floor for the structures the engine actually defaults to /
 #: the paper singles out; checked only on full (non-smoke) refreshes
 SPEEDUP_FLOOR = 1.25
 FLOOR_KINDS = ("heap", "calendar")
+
+#: E8 acceptance floor: the incremental sharing engine must cut
+#: completion-event cancel+reschedule churn at least this much versus the
+#: full progressive-filling reference (checked only on non-smoke refreshes)
+E8_RESCHEDULE_FLOOR = 3.0
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -55,7 +63,7 @@ def main(argv: list[str] | None = None) -> int:
                     help="output JSON path")
     ap.add_argument("--smoke", action="store_true",
                     help="tiny workloads, no speedup floor (CI smoke)")
-    ap.add_argument("--section", choices=("all", "kernel", "e7"),
+    ap.add_argument("--section", choices=("all", "kernel", "e7", "e8"),
                     default="all",
                     help="which baseline section(s) to refresh; partial "
                          "refreshes merge into the existing file")
@@ -65,7 +73,7 @@ def main(argv: list[str] | None = None) -> int:
     scale = 0.02 if args.smoke else args.scale
 
     t0 = time.time()
-    if args.section == "e7" and args.out.exists():
+    if args.section in ("e7", "e8") and args.out.exists():
         baseline = json.loads(args.out.read_text())
     elif args.section in ("all", "kernel"):
         kernel = collect_baseline(repeats=repeats, scale=scale)
@@ -82,6 +90,13 @@ def main(argv: list[str] | None = None) -> int:
         baseline["e7_executors"] = collect_e7(
             jobs_per_site=max(20, int(150 * e7_scale)),
             horizon=max(50.0, 400.0 * e7_scale),
+            repeats=repeats)
+
+    if args.section in ("all", "e8"):
+        e8_scale = 0.25 if args.smoke else 1.0
+        baseline["e8_flow_sharing"] = collect_e8(
+            pairs=max(8, int(60 * e8_scale)),
+            transfers_per_pair=max(4, int(12 * e8_scale)),
             repeats=repeats)
 
     baseline["created"] = time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime())
@@ -120,6 +135,31 @@ def main(argv: list[str] | None = None) -> int:
             print(f"{name:<16} {row['committed_eps']:>10,.0f} "
                   f"{row['efficiency']:>6.3f} {row['rollbacks']:>6} "
                   f"{row['anti_messages']:>6} {row['null_messages']:>6}")
+
+    if "e8_flow_sharing" in baseline:
+        e8 = baseline["e8_flow_sharing"]
+        hdr = (f"{'sharing engine':<14} {'wall s':>8} {'recomp':>8} "
+               f"{'touched':>9} {'resched':>9} {'preserv':>8}")
+        print(hdr)
+        print("-" * len(hdr))
+        for name, row in e8["results"].items():
+            print(f"{name:<14} {row['wall_seconds']:>8.3f} "
+                  f"{row['recomputes']:>8,} {row['flows_touched']:>9,} "
+                  f"{row['rescheduled']:>9,} {row['preserved']:>8,}")
+        r = e8["ratios"]
+        print(f"reschedule churn cut {r['reschedule_ratio']:.1f}x, "
+              f"flows touched cut {r['flows_touched_ratio']:.1f}x, "
+              f"wall speedup {r['wall_speedup']:.2f}x "
+              f"(worst completion diff {e8['worst_completion_rel_diff']:.2e})")
+
+    if not args.smoke and args.section in ("all", "e8") \
+            and "e8_flow_sharing" in baseline:
+        ratio = baseline["e8_flow_sharing"]["ratios"]["reschedule_ratio"]
+        if ratio < E8_RESCHEDULE_FLOOR:
+            print(f"FAIL: E8 reschedule churn reduction {ratio:.2f}x below "
+                  f"the {E8_RESCHEDULE_FLOOR}x floor — the incremental "
+                  f"sharing engine regressed", file=sys.stderr)
+            return 1
 
     if not args.smoke and args.section in ("all", "kernel"):
         failures = [k for k in FLOOR_KINDS

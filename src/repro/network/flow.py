@@ -1,4 +1,4 @@
-"""Flow-level network model with max-min fair bandwidth sharing.
+"""Flow-level network model with incremental max-min fair bandwidth sharing.
 
 Taxonomy *granularity of the simulation*: "the simulation of the network can
 model in detail the flow of each packet through the network, a time
@@ -13,10 +13,34 @@ count.  At any instant, link capacity is divided among crossing flows by
 **max-min fairness** computed with the classic progressive-filling
 algorithm: repeatedly find the most-constrained link (smallest fair share
 ``free_capacity / unfrozen_flows``), freeze its flows at that share, remove
-the consumed capacity, and continue.  Whenever a flow starts or finishes
-the allocation is recomputed and every affected completion event is
-rescheduled — an O(F·L) update that is the model's classic cost/accuracy
-trade-off.
+the consumed capacity, and continue.
+
+Incremental maintenance
+-----------------------
+The naive formulation recomputes *every* flow's rate and cancels+reschedules
+*every* completion event on each admit/finish — O(F·L) work and O(F) event
+churn per network event, the classic cost SimGrid's lazy/partial updates
+were built to avoid.  This engine instead:
+
+* keeps a persistent link → crossing-flows index, updated O(route length)
+  on admit/finish, instead of rebuilding it per recompute;
+* recomputes shares only for the **connected component** of flows that
+  share a link (transitively) with the changed flow — progressive filling
+  decomposes exactly across components, so disjoint components' rates and
+  completion events are left untouched;
+* **preserves** the completion event of any flow whose recomputed rate is
+  unchanged within a relative epsilon (``RESCHEDULE_EPS``) — no dead
+  records enter the event list for rate-stable flows;
+* **coalesces** all admits/finishes at one timestamp into a single
+  recompute, scheduled at the same time in the :data:`Priority.LOW` band so
+  it runs after every same-time network event.
+
+``incremental=False`` retains the full progressive-filling engine (global
+recompute, full reschedule, no coalescing) as the verification reference
+and churn baseline; ``verify=True`` cross-checks every incremental update
+against it.  Per-network counters in :attr:`FlowNetwork.sharing` (and, when
+a :mod:`repro.obs` session is attached, run telemetry) account for the
+saved work.
 
 A flow's data starts moving after the route's propagation latency; the
 returned :class:`FlowHandle` completes when the last byte arrives.
@@ -25,16 +49,21 @@ returned :class:`FlowHandle` completes when the last byte arrives.
 from __future__ import annotations
 
 import math
-from typing import Optional
+from dataclasses import dataclass
+from typing import Iterable, Optional
 
 from ..core.engine import Simulator
 from ..core.errors import ConfigurationError
-from ..core.events import Event
+from ..core.events import Event, Priority
 from ..core.monitor import Monitor
 from ..core.process import Waitable
 from .topology import LinkSpec, Topology
 
-__all__ = ["FlowHandle", "FlowNetwork"]
+__all__ = ["FlowHandle", "FlowNetwork", "SharingStats"]
+
+#: absolute backstop for the starvation guard when the relative floor
+#: underflows to zero (subnormal link capacities).
+_MIN_SHARE = math.ulp(0.0)
 
 
 class FlowHandle(Waitable):
@@ -75,6 +104,28 @@ class FlowHandle(Waitable):
         return f"<Flow #{self.id} {self.src}->{self.dst} {state}>"
 
 
+@dataclass
+class SharingStats:
+    """Reallocation accounting for one :class:`FlowNetwork`.
+
+    ``preserved``/``rescheduled`` partition the completion events of every
+    recomputed flow; flows outside the recomputed component appear in
+    neither (their events were never touched at all).
+    """
+
+    recomputes: int = 0          #: progressive-filling passes actually run
+    coalesced: int = 0           #: admits/finishes absorbed by a pending pass
+    flows_touched: int = 0       #: flows whose rates were recomputed (summed)
+    rescheduled: int = 0         #: completion events cancelled + rescheduled
+    preserved: int = 0           #: completion events kept (rate unchanged)
+
+    def as_dict(self) -> dict:
+        """Flat dict (CSV/JSON-friendly)."""
+        return {"recomputes": self.recomputes, "coalesced": self.coalesced,
+                "flows_touched": self.flows_touched,
+                "rescheduled": self.rescheduled, "preserved": self.preserved}
+
+
 class FlowNetwork:
     """Event-driven max-min fair flow network over a :class:`Topology`.
 
@@ -85,16 +136,53 @@ class FlowNetwork:
     efficiency:
         Fraction of nominal link capacity actually usable (protocol
         overhead); 0.92 by default, mirroring SimGrid's TCP correction.
+    incremental:
+        When True (default) use the component-scoped incremental engine.
+        When False, run the retained full progressive-filling reference:
+        every admit/finish immediately recomputes all flows and
+        cancels+reschedules every completion event (the churn baseline).
+    verify:
+        Debug mode: after every incremental update, recompute the full
+        reference allocation and raise if any stored rate diverges beyond
+        the epsilon policy.  Used by the differential fuzz tests.
     """
 
+    #: Relative epsilon under which a recomputed rate counts as unchanged
+    #: and the flow's completion event is preserved.  Chosen far below any
+    #: modelled bandwidth change but above progressive-filling float noise,
+    #: so drift against the full reference stays ≤ RESCHEDULE_EPS per flow.
+    RESCHEDULE_EPS = 1e-12
+
+    #: Starvation guard: a bottleneck share is floored at this fraction of
+    #: the bottleneck link's usable capacity.  Float residue in the free
+    #: capacity bookkeeping can otherwise drive a saturated link's share to
+    #: exactly zero while an uncapped flow still crosses it — the flow
+    #: would freeze at rate 0, never get a completion event, and hang
+    #: forever (as would any process yielding on it).
+    SHARE_FLOOR_EPS = 1e-12
+
     def __init__(self, sim: Simulator, topology: Topology,
-                 efficiency: float = 0.92) -> None:
+                 efficiency: float = 0.92, incremental: bool = True,
+                 verify: bool = False) -> None:
         if not 0 < efficiency <= 1:
             raise ConfigurationError(f"efficiency must be in (0,1], got {efficiency}")
         self.sim = sim
         self.topology = topology
         self.efficiency = efficiency
-        self._active: list[FlowHandle] = []
+        self.incremental = incremental
+        self.verify = verify
+        #: active flows keyed by id — O(1) admit/finish bookkeeping.
+        self._active: dict[int, FlowHandle] = {}
+        #: persistent link → {flow id: flow} index over active flows;
+        #: entries are pruned as soon as their last crossing flow finishes,
+        #: so the index never outgrows the live flow set.
+        self._crossing: dict[LinkSpec, dict[int, FlowHandle]] = {}
+        #: flows admitted / links released since the last recompute — the
+        #: seeds of the next component-scoped pass.
+        self._dirty_flows: dict[int, FlowHandle] = {}
+        self._dirty_links: set[LinkSpec] = set()
+        self._flush_scheduled = False
+        self.sharing = SharingStats()
         self.monitor = Monitor("flow-network")
         self._active_level = self.monitor.level("active_flows", start_time=sim.now)
         self.completed = 0
@@ -116,7 +204,8 @@ class FlowNetwork:
         handle.links = self.topology.route_links(src, dst)
         latency = self.topology.path_latency(src, dst)
         if size == 0 or not handle.links:
-            # Same-host copy or empty payload: latency-only.
+            # Same-host copy or empty payload: latency-only, never admitted
+            # — must not perturb the rates of flows actually on the wire.
             self.sim.schedule(latency, self._finish, handle, label="flow_done")
             return handle
         self.sim.schedule(latency, self._admit, handle, label="flow_start")
@@ -127,31 +216,59 @@ class FlowNetwork:
         """Number of transfers currently in flight."""
         return len(self._active)
 
+    def flows(self) -> list[FlowHandle]:
+        """The currently active flows (snapshot list)."""
+        return list(self._active.values())
+
     def link_utilization(self, spec: LinkSpec) -> float:
         """Instantaneous utilization of one link by active flows."""
-        used = sum(f.rate for f in self._active if spec in f.links)
+        used = sum(f.rate for f in self._crossing.get(spec, {}).values())
         return used / (spec.bandwidth * self.efficiency)
+
+    def reference_rates(self) -> dict[int, float]:
+        """Full progressive filling over every active flow.
+
+        The retained reference implementation: tests and the differential
+        fuzz harness compare the incremental engine's stored rates against
+        this on demand (and continuously with ``verify=True``).
+        """
+        return self._max_min_rates(dict(self._active))
 
     # -- internals ------------------------------------------------------------------
 
     def _admit(self, handle: FlowHandle) -> None:
         handle._last_update = self.sim.now
-        self._active.append(handle)
+        self._active[handle.id] = handle
+        for link in handle.links:
+            self._crossing.setdefault(link, {})[handle.id] = handle
         self._active_level.set(self.sim.now, len(self._active))
-        self._reallocate()
+        self._mark_dirty(flow=handle)
 
     def _finish(self, handle: FlowHandle) -> None:
+        admitted = self._active.pop(handle.id, None) is not None
         handle.remaining = 0.0
         handle.rate = 0.0
         handle.finished = self.sim.now
-        if handle in self._active:
-            self._active.remove(handle)
+        if handle._completion is not None:
+            handle._completion = None
+        if admitted:
+            for link in handle.links:
+                crossing = self._crossing.get(link)
+                if crossing is not None:
+                    crossing.pop(handle.id, None)
+                    if not crossing:
+                        del self._crossing[link]
             self._active_level.set(self.sim.now, len(self._active))
         self.completed += 1
         self.monitor.tally("transfer_time").record(handle.duration)
-        self.monitor.tally("throughput").record(handle.throughput)
+        if admitted:
+            # Never-admitted (latency-only) handles moved no bytes over any
+            # link; tallying their 0 B/s would deflate the throughput stat.
+            self.monitor.tally("throughput").record(handle.throughput)
         handle._complete(handle)
-        self._reallocate()
+        if admitted:
+            # A flow that never held bandwidth cannot change anyone's share.
+            self._mark_dirty(links=handle.links)
 
     def _settle(self, handle: FlowHandle) -> None:
         """Account bytes moved at the current rate since the last update."""
@@ -160,13 +277,90 @@ class FlowNetwork:
             handle.remaining = max(0.0, handle.remaining - handle.rate * dt)
         handle._last_update = self.sim.now
 
-    def _reallocate(self) -> None:
-        """Recompute max-min shares and reschedule completion events."""
-        for f in self._active:
+    def _mark_dirty(self, flow: FlowHandle | None = None,
+                    links: Iterable[LinkSpec] | None = None) -> None:
+        """Record a topology-of-flows change and arrange one recompute.
+
+        Incremental mode defers the recompute to a same-timestamp LOW-band
+        event so every admit/finish at this instant lands in one pass; the
+        reference mode recomputes immediately, exactly as the original
+        engine did.
+        """
+        if not self.incremental:
+            self._apply_rates(dict(self._active), preserve=False)
+            return
+        if flow is not None:
+            self._dirty_flows[flow.id] = flow
+        if links is not None:
+            self._dirty_links.update(links)
+        if self._flush_scheduled:
+            self.sharing.coalesced += 1
+            return
+        self._flush_scheduled = True
+        self.sim.schedule(0.0, self._flush, label="flow_realloc",
+                          priority=Priority.LOW)
+
+    def _flush(self) -> None:
+        """Run the coalesced, component-scoped recompute."""
+        self._flush_scheduled = False
+        dirty_flows = self._dirty_flows
+        seed_links = self._dirty_links
+        self._dirty_flows = {}
+        self._dirty_links = set()
+        for f in dirty_flows.values():
+            if f.id in self._active:
+                seed_links.update(f.links)
+        if not seed_links:
+            return
+        component = self._component(seed_links)
+        if not component:
+            return
+        self._apply_rates(component, preserve=True)
+        if self.verify:
+            self._verify_against_reference()
+
+    def _component(self, seed_links: Iterable[LinkSpec]) -> dict[int, FlowHandle]:
+        """Flows transitively sharing a link with any seed link."""
+        flows: dict[int, FlowHandle] = {}
+        stack = [l for l in seed_links if l in self._crossing]
+        seen = set(stack)
+        while stack:
+            link = stack.pop()
+            for f in self._crossing[link].values():
+                if f.id not in flows:
+                    flows[f.id] = f
+                    for l in f.links:
+                        if l not in seen and l in self._crossing:
+                            seen.add(l)
+                            stack.append(l)
+        return flows
+
+    def _apply_rates(self, flows: dict[int, FlowHandle], preserve: bool) -> None:
+        """Settle, recompute max-min shares, and (re)schedule completions.
+
+        With *preserve*, a flow whose new rate matches its current rate
+        within :data:`RESCHEDULE_EPS` (relative) keeps both its stored rate
+        and its live completion event — the event's absolute time is still
+        exact, since bytes keep draining at the unchanged rate.
+        """
+        if not flows:
+            return
+        for f in flows.values():
             self._settle(f)
-        rates = self._max_min_rates()
-        for f in self._active:
+        rates = self._max_min_rates(flows)
+        stats = self.sharing
+        stats.recomputes += 1
+        stats.flows_touched += len(flows)
+        rescheduled = preserved = 0
+        eps = self.RESCHEDULE_EPS
+        for f in flows.values():
             new_rate = rates[f.id]
+            if (preserve and f._completion is not None
+                    and not f._completion.cancelled
+                    and abs(new_rate - f.rate)
+                    <= eps * max(abs(new_rate), abs(f.rate))):
+                preserved += 1
+                continue
             f.rate = new_rate
             if f._completion is not None:
                 f._completion.cancel()
@@ -175,32 +369,66 @@ class FlowNetwork:
                 eta = f.remaining / new_rate
                 f._completion = self.sim.schedule(
                     eta, self._finish, f, label="flow_done")
-            # rate == 0 can only happen transiently with rate caps of 0;
-            # such flows sit idle until a reallocation frees capacity.
+                rescheduled += 1
+            # rate == 0 can only happen with a rate cap of 0; such flows
+            # sit idle until a reallocation frees capacity.
+        stats.rescheduled += rescheduled
+        stats.preserved += preserved
+        obs = self.sim._obs
+        if obs is not None:
+            obs.on_reallocate(len(flows), rescheduled, preserved)
 
-    def _max_min_rates(self) -> dict[int, float]:
-        """Progressive filling over the currently active flows."""
-        if not self._active:
+    def _verify_against_reference(self) -> None:
+        """Assert stored rates match the full progressive-filling reference.
+
+        The tolerance covers the two sanctioned divergence sources: an
+        epsilon-preserved stale rate (≤ RESCHEDULE_EPS relative) and float
+        tie-break noise between component-local and global filling order.
+        """
+        reference = self.reference_rates()
+        for fid, want in reference.items():
+            got = self._active[fid].rate
+            if not math.isclose(got, want, rel_tol=1e-9, abs_tol=1e-12):
+                raise AssertionError(
+                    f"incremental rate divergence: flow #{fid} has rate "
+                    f"{got!r}, full reference says {want!r} "
+                    f"(active={len(self._active)})")
+
+    def _max_min_rates(self, flows: dict[int, FlowHandle]) -> dict[int, float]:
+        """Progressive filling restricted to *flows*.
+
+        Callers pass either one connected component (the incremental path —
+        filling decomposes exactly across components, so the restriction is
+        lossless) or every active flow (the full reference).
+        """
+        if not flows:
             return {}
         free: dict[LinkSpec, float] = {}
+        capacity: dict[LinkSpec, float] = {}
         crossing: dict[LinkSpec, list[FlowHandle]] = {}
-        for f in self._active:
+        for f in flows.values():
             for link in f.links:
                 if link not in free:
-                    free[link] = link.bandwidth * self.efficiency
+                    cap = link.bandwidth * self.efficiency
+                    free[link] = cap
+                    capacity[link] = cap
                     crossing[link] = []
                 crossing[link].append(f)
         rates: dict[int, float] = {}
-        unfrozen = set(f.id for f in self._active)
-        # Flows capped below their fair share freeze at the cap first.
-        flows_by_id = {f.id: f for f in self._active}
+        unfrozen = set(flows)
+        # Flows capped at exactly 0 can never carry bytes; freeze them first
+        # so the starvation guard below applies only to servable flows.
+        for fid, f in flows.items():
+            if f.rate_cap <= 0.0:
+                rates[fid] = 0.0
+                unfrozen.discard(fid)
         while unfrozen:
             # Fair share each link could offer its unfrozen flows; track the
             # single most-constrained link (the iteration's bottleneck).
             best_share = math.inf
             best_link: Optional[LinkSpec] = None
-            for link, flows in crossing.items():
-                n_live = sum(1 for f in flows if f.id in unfrozen)
+            for link, crossers in crossing.items():
+                n_live = sum(1 for f in crossers if f.id in unfrozen)
                 if n_live == 0:
                     continue
                 share = free[link] / n_live
@@ -211,18 +439,28 @@ class FlowNetwork:
                 # Remaining flows cross no constrained link (can only happen
                 # with rate caps); give them their caps.
                 for fid in unfrozen:
-                    rates[fid] = flows_by_id[fid].rate_cap
+                    rates[fid] = flows[fid].rate_cap
                 break
+            # Starvation guard: float residue in `free` after repeated
+            # subtraction can reach exactly 0 (or epsilon dust) while
+            # uncapped flows still cross the link; a zero share would
+            # freeze them at rate 0 with no completion event — a permanent
+            # hang.  Floor the share relative to the bottleneck's capacity
+            # (overshoot is ≤ crossers · floor, far inside the efficiency
+            # margin), with an absolute backstop for subnormal capacities.
+            floor = self.SHARE_FLOOR_EPS * capacity[best_link]
+            if best_share < floor or best_share <= 0.0:
+                best_share = floor if floor > 0.0 else _MIN_SHARE
             # Flows capped below the bottleneck share freeze at their cap
             # first — they consume less than a fair share everywhere.
             capped = [fid for fid in unfrozen
-                      if flows_by_id[fid].rate_cap < best_share]
+                      if flows[fid].rate_cap < best_share]
             if capped:
                 for fid in capped:
-                    rate = flows_by_id[fid].rate_cap
+                    rate = flows[fid].rate_cap
                     rates[fid] = rate
                     unfrozen.discard(fid)
-                    for link in flows_by_id[fid].links:
+                    for link in flows[fid].links:
                         free[link] = max(0.0, free[link] - rate)
                 continue
             # Freeze exactly the bottleneck link's flows at its fair share.
@@ -232,4 +470,10 @@ class FlowNetwork:
                     unfrozen.discard(f.id)
                     for link in f.links:
                         free[link] = max(0.0, free[link] - best_share)
+        # Post-condition of the guard: no servable flow ever starves.
+        for fid, rate in rates.items():
+            if rate <= 0.0 and flows[fid].rate_cap > 0.0:
+                raise AssertionError(
+                    f"max-min starvation: flow #{fid} (cap "
+                    f"{flows[fid].rate_cap!r}) allocated rate {rate!r}")
         return rates

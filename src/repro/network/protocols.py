@@ -51,13 +51,26 @@ class TcpTransport:
         self.network = network
         self.window = float(window)
         self.parallel_streams = parallel_streams
+        #: per-route cap memo — transfer-heavy workloads revisit the same
+        #: (src, dst) pairs constantly and the underlying path latency is
+        #: a routed graph query.  Call :meth:`invalidate_caps` after
+        #: mutating the topology mid-run.
+        self._cap_cache: dict[tuple[str, str], float] = {}
 
     def rate_cap(self, src: str, dst: str) -> float:
         """The window-imposed throughput ceiling for this route."""
-        rtt = 2.0 * self.network.topology.path_latency(src, dst)
-        if rtt <= 0:
-            return math.inf
-        return self.parallel_streams * self.window / rtt
+        key = (src, dst)
+        cap = self._cap_cache.get(key)
+        if cap is None:
+            rtt = 2.0 * self.network.topology.path_latency(src, dst)
+            cap = (math.inf if rtt <= 0
+                   else self.parallel_streams * self.window / rtt)
+            self._cap_cache[key] = cap
+        return cap
+
+    def invalidate_caps(self) -> None:
+        """Drop cached route caps (after topology/latency changes)."""
+        self._cap_cache.clear()
 
     def transfer(self, src: str, dst: str, size: float) -> FlowHandle:
         """Start a capped flow; the handle completes on the last byte."""

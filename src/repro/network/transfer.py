@@ -76,10 +76,17 @@ class FileTransferService:
         self.sim = sim
         self.transport = transport
         self.max_concurrent = max_concurrent_per_route
+        #: per-route live-transfer counts and FIFO queues.  Both dicts are
+        #: pruned as soon as a route goes idle, so route state is bounded
+        #: by *concurrent* traffic, not by every (src, dst) pair ever seen.
         self._in_flight: dict[tuple[str, str], int] = {}
         self._backlog: dict[tuple[str, str], deque[_TransferTicket]] = {}
         self.monitor = Monitor("file-transfers")
         self.completed = 0
+        #: ``src == dst`` requests served without touching the wire.  These
+        #: count in ``completed`` and the monitor too, so hit ratios and
+        #: mean delays reflect every request, not only remote ones.
+        self.local_hits = 0
 
     def fetch(self, file: FileSpec, src: str, dst: str) -> _TransferTicket:
         """Request *file* to be copied ``src -> dst``; returns a ticket."""
@@ -87,6 +94,10 @@ class FileTransferService:
         if src == dst:
             # already local — complete immediately (zero-cost hit)
             ticket.started = ticket.finished = self.sim.now
+            self.local_hits += 1
+            self.completed += 1
+            self.monitor.tally("queue_delay").record(0.0)
+            self.monitor.tally("total_time").record(0.0)
             self.sim.schedule(0.0, ticket._complete, ticket, label="xfer_local")
             return ticket
         key = (src, dst)
@@ -126,4 +137,9 @@ class FileTransferService:
         queue = self._backlog.get(key)
         if queue:
             self._launch(key, queue.popleft())
+        else:
+            if queue is not None:
+                del self._backlog[key]
+            if not self._in_flight[key]:
+                del self._in_flight[key]
         ticket._complete(ticket)

@@ -133,6 +133,13 @@ class ObsBinding:
         if tracer is not None:
             tracer.on_message_recv(msg, ev.obs_span)
 
+    def on_reallocate(self, flows: int, rescheduled: int,
+                      preserved: int) -> None:
+        """A flow network recomputed bandwidth shares for *flows* flows."""
+        telemetry = self.telemetry
+        if telemetry is not None:
+            telemetry.on_reallocate(flows, rescheduled, preserved)
+
     def on_rollback(self, now: float, straggler_time: float,
                     restored_to: float, depth_events: int) -> None:
         """Time Warp rolled this LP back (straggler or anti-message)."""

@@ -45,6 +45,13 @@ class Telemetry:
         self.rollbacks = 0
         self.rolled_back_events = 0
         self.max_rollback_depth = 0
+        #: Flow-network bandwidth-sharing accounting (fed by
+        #: ``ObsBinding.on_reallocate``) — zero for runs without a
+        #: :class:`~repro.network.flow.FlowNetwork`.
+        self.reallocs = 0
+        self.realloc_flows = 0
+        self.realloc_rescheduled = 0
+        self.realloc_preserved = 0
         self.start_wall = perf_counter()
         self.start_sim: float | None = None
         self._next_check = self.check_every
@@ -72,6 +79,14 @@ class Telemetry:
         self.rolled_back_events += depth
         if depth > self.max_rollback_depth:
             self.max_rollback_depth = depth
+
+    def on_reallocate(self, flows: int, rescheduled: int,
+                      preserved: int) -> None:
+        """Record one bandwidth-sharing recompute over *flows* flows."""
+        self.reallocs += 1
+        self.realloc_flows += flows
+        self.realloc_rescheduled += rescheduled
+        self.realloc_preserved += preserved
 
     # -- reporting -----------------------------------------------------------
 
@@ -110,6 +125,10 @@ class Telemetry:
             "rollbacks": self.rollbacks,
             "rolled_back_events": self.rolled_back_events,
             "max_rollback_depth": self.max_rollback_depth,
+            "reallocs": self.reallocs,
+            "realloc_flows_touched": self.realloc_flows,
+            "realloc_rescheduled": self.realloc_rescheduled,
+            "realloc_preserved": self.realloc_preserved,
             "commit_efficiency": ((self.events - self.rolled_back_events)
                                   / self.events if self.events else 1.0),
         }

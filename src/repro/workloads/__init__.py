@@ -16,6 +16,7 @@ from .access import (
 )
 from .arrivals import heavy_tail_arrivals, mmpp_arrivals, poisson_arrivals
 from .dags import chain_dag, fork_join_dag, layered_dag
+from .flowchurn import FlowChurnModel, build_flow_churn
 from .lhc import (
     ATLAS_2005,
     CMS_2005,
@@ -35,6 +36,8 @@ __all__ = [
     "batch_arrival_farm",
     "PartitionedRing",
     "build_partitioned_ring",
+    "FlowChurnModel",
+    "build_flow_churn",
     "layered_dag",
     "fork_join_dag",
     "chain_dag",

@@ -125,6 +125,21 @@ class TestExecutors:
         assert "optimistic" in out and "sequential" not in out
 
 
+class TestFlows:
+    def test_both_engines_cross_checked(self, capsys):
+        assert main(["flows", "--pairs", "8", "--transfers", "3",
+                     "--backbone", "2", "--verify"]) == 0
+        out = capsys.readouterr().out
+        assert "incremental" in out and "full" in out
+        assert "completion times identical across engines" in out
+
+    def test_single_engine(self, capsys):
+        assert main(["flows", "--mode", "incremental", "--pairs", "4",
+                     "--transfers", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "incremental" in out and "full" not in out
+
+
 def test_module_entrypoint_runs():
     import subprocess
     import sys

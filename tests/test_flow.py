@@ -119,7 +119,7 @@ class TestFairSharing:
         # inspect rates after admission (t=0 events)
         sim.run(until=0.001)
         for link in t.links:
-            used = sum(f.rate for f in net._active if link in f.links)
+            used = sum(f.rate for f in net.flows() if link in f.links)
             assert used <= link.bandwidth + 1e-6
 
     def test_process_can_yield_flow(self):
@@ -141,6 +141,132 @@ class TestFairSharing:
         sim.run()
         assert net.completed == 2
         assert net.monitor.tally("transfer_time").count == 2
+
+
+class TestStarvationGuard:
+    """Regression: float residue (or underflow) in the free-capacity
+    bookkeeping must never freeze an uncapped flow at rate 0 — a starved
+    flow gets no completion event and the transfer hangs forever."""
+
+    @pytest.mark.parametrize("incremental", [True, False])
+    def test_subnormal_capacity_does_not_starve(self, incremental):
+        # bandwidth 5e-324 (the minimum subnormal): the fair share for two
+        # crossing flows, 5e-324 / 2, rounds to exactly 0.0 — the old
+        # engine allocated rate 0 to both flows and never completed either.
+        t = Topology()
+        t.add_link("a", "b", 5e-324, 0.0)
+        t.add_link("b", "c", 5e-324, 0.0)
+        sim = Simulator()
+        net = FlowNetwork(sim, t, efficiency=1.0, incremental=incremental)
+        h1 = net.transfer("a", "c", 5e-323)  # crosses both saturated links
+        h2 = net.transfer("a", "c", 5e-323)
+        sim.run(until=1e-9)
+        for h in (h1, h2):
+            assert h.rate > 0.0, "uncapped active flow frozen at rate 0"
+            assert h._completion is not None
+        sim.run()
+        assert h1.done and h2.done
+
+    def test_zero_rate_cap_flow_may_idle(self):
+        """The guard applies to *servable* flows only: a cap of exactly 0
+        legitimately parks the flow at rate 0 (no starvation assert)."""
+        t = Topology()
+        t.add_link("a", "b", 100.0, 0.0)
+        sim = Simulator()
+        net = FlowNetwork(sim, t, efficiency=1.0)
+        live = net.transfer("a", "b", 100.0)
+        parked = net.transfer("a", "b", 100.0, rate_cap=0.0)
+        sim.run(until=1e-9)
+        assert live.rate == pytest.approx(100.0)  # full link, sharer is idle
+        assert parked.rate == 0.0 and not parked.done
+
+
+class TestIncrementalSharing:
+    def net(self, links, incremental=True, verify=True):
+        t = Topology()
+        for a, b, bw in links:
+            t.add_link(a, b, bw, 0.0)
+        sim = Simulator()
+        return sim, FlowNetwork(sim, t, efficiency=1.0,
+                                incremental=incremental, verify=verify)
+
+    def test_same_timestamp_admits_coalesce_into_one_recompute(self):
+        sim, net = self.net([("a", "b", 100.0)])
+        handles = [net.transfer("a", "b", 100.0) for _ in range(5)]
+        sim.run(until=1e-9)
+        assert net.sharing.recomputes == 1
+        assert net.sharing.coalesced == 4
+        assert net.sharing.flows_touched == 5
+        sim.run()
+        assert all(h.done for h in handles)
+
+    def test_disjoint_component_events_untouched(self):
+        sim, net = self.net([("a", "b", 100.0), ("c", "d", 100.0)])
+        h1 = net.transfer("a", "b", 1000.0)
+        sim.run(until=0.5)
+        ev1 = h1._completion
+        assert ev1 is not None
+        h2 = net.transfer("c", "d", 100.0)
+        sim.run(until=0.6)
+        # h2's admit recomputed only its own one-flow component
+        assert h1._completion is ev1
+        assert net.sharing.flows_touched == 2  # one per single-flow flush
+        sim.run()
+        assert h1.finished == pytest.approx(10.0)
+        assert h2.finished == pytest.approx(1.5)
+
+    def test_unchanged_rate_preserves_completion_event(self):
+        sim, net = self.net([("a", "b", 100.0)])
+        big = net.transfer("a", "b", 10_000.0)
+        capped = net.transfer("a", "b", 1_000.0, rate_cap=10.0)
+        sim.run(until=1e-9)
+        assert big.rate == pytest.approx(90.0)
+        assert capped.rate == pytest.approx(10.0)
+        ev = capped._completion
+        holder = {}
+        sim.schedule(1.0, lambda: holder.update(
+            h=net.transfer("a", "b", 500.0, rate_cap=5.0)))
+        sim.run(until=1.5)
+        # the newcomer squeezes `big` (85), but `capped` still gets its cap:
+        # its rate is unchanged, so its completion event must be kept
+        assert big.rate == pytest.approx(85.0)
+        assert capped._completion is ev
+        assert net.sharing.preserved >= 1
+        sim.run()
+        assert big.done and capped.done and holder["h"].done
+
+    def test_latency_only_transfers_leave_rates_alone(self):
+        sim, net = self.net([("a", "b", 100.0)])
+        h = net.transfer("a", "b", 1000.0)
+        sim.run(until=1e-9)
+        ev = h._completion
+        recomputes = net.sharing.recomputes
+        zero = net.transfer("a", "b", 0.0)    # empty payload
+        local = net.transfer("b", "b", 50.0)  # same-host copy
+        sim.run(until=0.1)
+        assert zero.done and local.done
+        # neither was ever admitted: no recompute, no event churn
+        assert h._completion is ev
+        assert net.sharing.recomputes == recomputes
+        sim.run()
+        assert h.finished == pytest.approx(10.0)
+        assert net.completed == 3
+        # throughput is only tallied for flows that actually held bandwidth
+        assert net.monitor.tally("throughput").count == 1
+        assert net.monitor.tally("transfer_time").count == 3
+
+    def test_reference_mode_matches_incremental(self):
+        for incremental in (True, False):
+            sim, net = self.net([("a", "b", 100.0), ("b", "c", 60.0)],
+                                incremental=incremental, verify=incremental)
+            h1 = net.transfer("a", "c", 300.0)
+            h2 = net.transfer("a", "b", 300.0)
+            sim.run()
+            if incremental:
+                inc = (h1.finished, h2.finished)
+            else:
+                ref = (h1.finished, h2.finished)
+        assert inc == pytest.approx(ref, rel=1e-9)
 
 
 @settings(max_examples=25, deadline=None)

@@ -106,7 +106,7 @@ def test_property_flow_capacity_conservation(n_flows, access_bw,
     # check rates right after admission
     sim.run(until=1e-6)
     for link in topo.links:
-        used = sum(f.rate for f in net._active if link in f.links)
+        used = sum(f.rate for f in net.flows() if link in f.links)
         assert used <= link.bandwidth * (1 + 1e-9)
     sim.run()
     assert all(h.done and h.finished is not None for h in handles)

@@ -192,6 +192,24 @@ class TestTelemetry:
         assert lines and all(line.startswith("[obs]") for line in lines)
         assert tel.heartbeats == len(lines)
 
+    def test_flow_reallocation_counters(self):
+        """An observed FlowNetwork feeds the sharing counters into the
+        telemetry snapshot via ObsBinding.on_reallocate."""
+        from repro.network import FlowNetwork, Topology
+
+        obs, sim = _observed_sim(trace=False, profile=False)
+        topo = Topology()
+        topo.add_link("a", "b", 100.0, 0.0)
+        net = FlowNetwork(sim, topo, efficiency=1.0)
+        net.transfer("a", "b", 200.0)
+        net.transfer("a", "b", 100.0)
+        sim.run()
+        snap = obs.telemetry.snapshot(sim)
+        assert snap["reallocs"] == net.sharing.recomputes > 0
+        assert snap["realloc_flows_touched"] == net.sharing.flows_touched
+        assert snap["realloc_rescheduled"] == net.sharing.rescheduled > 0
+        assert snap["realloc_preserved"] == net.sharing.preserved
+
 
 class TestChromeExport:
     def _traced_run(self):

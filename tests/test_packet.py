@@ -205,3 +205,41 @@ class TestFileTransferService:
         sim = Simulator()
         with pytest.raises(ConfigurationError):
             FileTransferService(sim, None, max_concurrent_per_route=0)
+
+    def test_local_hit_counted_in_stats(self):
+        """src == dst requests count in completed, local_hits, and the
+        monitor — hit ratios reflect every request, not only remote ones."""
+        topo, src, dst = line_topo(bw=100.0, latency=0.0)
+        sim = Simulator()
+        fts = FileTransferService(sim, FlowNetwork(sim, topo, efficiency=1.0))
+        local = fts.fetch(FileSpec("here", 1000.0), src, src)
+        remote = fts.fetch(FileSpec("there", 100.0), src, dst)
+        sim.run()
+        assert local.done and remote.done
+        assert fts.local_hits == 1
+        assert fts.completed == 2
+        assert fts.monitor.tally("total_time").count == 2
+        assert fts.monitor.tally("queue_delay").mean == pytest.approx(0.0)
+
+    def test_route_state_pruned_after_churn(self):
+        """Idle routes must not leak: after a churn over many distinct
+        (src, dst) pairs both per-route dicts are empty again."""
+        n_routes = 250
+        t = Topology()
+        for i in range(n_routes):
+            t.add_link(f"a{i}", f"b{i}", 1000.0, 0.0)
+        sim = Simulator()
+        net = FlowNetwork(sim, t, efficiency=1.0)
+        fts = FileTransferService(sim, net, max_concurrent_per_route=1)
+        tickets = []
+        for i in range(n_routes):
+            # two per route so the backlog path (deque creation) is hit too
+            for k in range(2):
+                sim.schedule(0.01 * i, lambda i=i: tickets.append(
+                    fts.fetch(FileSpec(f"f{i}", 100.0), f"a{i}", f"b{i}")))
+        sim.run()
+        assert len(tickets) == 2 * n_routes
+        assert all(tk.done for tk in tickets)
+        assert fts.completed == 2 * n_routes
+        assert fts._backlog == {}
+        assert fts._in_flight == {}
