@@ -1,0 +1,122 @@
+"""E9 — million-entity runs: the self-tuning queue at the ROADMAP scale.
+
+Paper source (§5): the simulation engine "can be optimized ... by using
+advanced priority queuing structures for the simulation events"; the paper
+also notes no single structure wins everywhere.  E6 swept the structures at
+moderate scale — E9 pushes one scenario to the ROADMAP target (≥1M
+scheduled entities) and asks whether the :class:`AdaptiveQueue` earns its
+keep: it must *discover* at runtime that the workload left heap territory,
+migrate, and end up at least on par with the best hand-picked structure,
+without the user choosing anything.
+
+Scenario: N entities pre-scheduled with uniform arrivals over one simulated
+hour (the event list really holds all N at once — ``peak_pending`` proves
+it), each firing entity rescheduling itself with probability
+``RESCHEDULE_P`` so the drain is a push/pop mix rather than a pure pop
+stream.  Identical seeds give identical event totals for every structure
+(the kernel's determinism guarantee), so events/sec is directly comparable.
+"""
+
+from __future__ import annotations
+
+import random
+import sys
+import time
+
+from repro.core import Simulator
+from repro.core.queues import AdaptiveQueue
+
+#: ROADMAP-scale default; ``collect_e9(entities=...)`` shrinks it for smoke.
+ENTITIES = 1_000_000
+
+#: Probability a fired entity reschedules itself once more.
+RESCHEDULE_P = 0.2
+
+#: The ROADMAP throughput goal this scenario tracks (recorded, not gated:
+#: absolute eps is machine-bound; the gate compares adaptive to heap).
+TARGET_EPS = 500_000
+
+ARRIVAL_SPAN = 3600.0
+
+KINDS = ("adaptive", "heap")
+
+
+def run_million(kind: str, entities: int, seed: int = 2009) -> dict:
+    """One full scenario run on structure *kind*; returns measurements."""
+    sim = Simulator(queue=kind, seed=seed)
+    queue = sim._queue
+    switches: list[tuple[str, str, int]] = []
+    if isinstance(queue, AdaptiveQueue):
+        queue.on_migrate = lambda src, dst, moved: switches.append(
+            (src, dst, moved))
+
+    rng = random.Random(seed)
+    fired = [0]
+
+    def fire() -> None:
+        fired[0] += 1
+        if rng.random() < RESCHEDULE_P:
+            sim.schedule(rng.uniform(0.0, ARRIVAL_SPAN / 10.0), fire)
+
+    t0 = time.perf_counter()
+    for _ in range(entities):
+        sim.schedule_at(rng.uniform(0.0, ARRIVAL_SPAN), fire)
+    schedule_wall = time.perf_counter() - t0
+    peak_pending = sim.pending
+
+    t0 = time.perf_counter()
+    sim.run()
+    run_wall = time.perf_counter() - t0
+
+    if fired[0] < entities:  # every scheduled entity must actually fire
+        raise RuntimeError(
+            f"{kind}: only {fired[0]:,} of {entities:,} entities fired")
+    out = {
+        "entities": entities,
+        "peak_pending": peak_pending,
+        "events": fired[0],
+        "schedule_wall_seconds": round(schedule_wall, 3),
+        "schedule_eps": round(entities / schedule_wall, 1),
+        "run_wall_seconds": round(run_wall, 3),
+        "run_eps": round(fired[0] / run_wall, 1),
+    }
+    if isinstance(queue, AdaptiveQueue):
+        out["migrations"] = queue.migrations
+        out["migrated_events"] = queue.migrated_events
+        out["migration_path"] = [f"{src}->{dst}" for src, dst, _ in switches]
+        out["final_backend"] = queue.backend_kind
+    return out
+
+
+def collect_e9(entities: int = ENTITIES, repeats: int = 1,
+               kinds: tuple[str, ...] = KINDS) -> dict:
+    """The ``e9_million_entity`` baseline section (best-of-*repeats*)."""
+    results: dict[str, dict] = {}
+    for kind in kinds:
+        best: dict | None = None
+        for _ in range(max(1, repeats)):
+            row = run_million(kind, entities)
+            if best is None or row["run_eps"] > best["run_eps"]:
+                best = row
+        results[kind] = best
+    section = {
+        "entities": entities,
+        "reschedule_prob": RESCHEDULE_P,
+        "target_eps": TARGET_EPS,
+        "results": results,
+    }
+    if "adaptive" in results and "heap" in results:
+        section["adaptive_vs_heap"] = round(
+            results["adaptive"]["run_eps"] / results["heap"]["run_eps"], 3)
+    return section
+
+
+if __name__ == "__main__":
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else ENTITIES
+    section = collect_e9(entities=n)
+    for kind, row in section["results"].items():
+        print(f"{kind:<9} schedule {row['schedule_eps']:>10,.0f} ev/s  "
+              f"run {row['run_eps']:>10,.0f} ev/s  "
+              f"({row['events']:,} events, peak {row['peak_pending']:,})")
+    if "adaptive_vs_heap" in section:
+        print(f"adaptive vs heap: {section['adaptive_vs_heap']:.2f}x")

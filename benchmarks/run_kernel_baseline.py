@@ -18,8 +18,10 @@ the harness can run on noisy CI machines without flaking.
 ``e7`` (the executor comparison from ``bench_e7_committed.py``, merged as
 the ``e7_executors`` key), ``e8`` (the incremental bandwidth-sharing
 comparison from ``bench_flow_sharing.py``, merged as ``e8_flow_sharing``),
-or ``all``.  A partial refresh merges into the existing baseline file
-instead of overwriting the other sections.
+``e9`` (the million-entity adaptive-queue scenario from
+``bench_e9_million.py``, merged as ``e9_million_entity``), or ``all``.
+A partial refresh merges into the existing baseline file instead of
+overwriting the other sections.
 """
 
 from __future__ import annotations
@@ -39,6 +41,7 @@ for p in (str(_HERE), str(_ROOT / "src")):
         sys.path.insert(0, p)
 
 from bench_e7_committed import collect_e7  # noqa: E402
+from bench_e9_million import collect_e9  # noqa: E402
 from bench_flow_sharing import collect_e8  # noqa: E402
 from bench_kernel_hotpath import collect_baseline  # noqa: E402
 
@@ -52,6 +55,12 @@ FLOOR_KINDS = ("heap", "calendar")
 #: full progressive-filling reference (checked only on non-smoke refreshes)
 E8_RESCHEDULE_FLOOR = 3.0
 
+#: E9 acceptance floor: at million-entity scale the self-tuning queue must
+#: beat the hand-picked heap's events/sec by at least this much (it
+#: currently lands 1.5-2x; the floor catches a broken migration policy,
+#: not machine-to-machine eps variance).
+E9_ADAPTIVE_FLOOR = 1.1
+
 
 def main(argv: list[str] | None = None) -> int:
     ap = argparse.ArgumentParser(description=__doc__)
@@ -63,7 +72,7 @@ def main(argv: list[str] | None = None) -> int:
                     help="output JSON path")
     ap.add_argument("--smoke", action="store_true",
                     help="tiny workloads, no speedup floor (CI smoke)")
-    ap.add_argument("--section", choices=("all", "kernel", "e7", "e8"),
+    ap.add_argument("--section", choices=("all", "kernel", "e7", "e8", "e9"),
                     default="all",
                     help="which baseline section(s) to refresh; partial "
                          "refreshes merge into the existing file")
@@ -73,7 +82,7 @@ def main(argv: list[str] | None = None) -> int:
     scale = 0.02 if args.smoke else args.scale
 
     t0 = time.time()
-    if args.section in ("e7", "e8") and args.out.exists():
+    if args.section in ("e7", "e8", "e9") and args.out.exists():
         baseline = json.loads(args.out.read_text())
     elif args.section in ("all", "kernel"):
         kernel = collect_baseline(repeats=repeats, scale=scale)
@@ -98,6 +107,11 @@ def main(argv: list[str] | None = None) -> int:
             pairs=max(8, int(60 * e8_scale)),
             transfers_per_pair=max(4, int(12 * e8_scale)),
             repeats=repeats)
+
+    if args.section in ("all", "e9"):
+        entities = max(20_000, int(1_000_000 * scale))
+        baseline["e9_million_entity"] = collect_e9(
+            entities=entities, repeats=repeats)
 
     baseline["created"] = time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime())
     baseline["python"] = platform.python_version()
@@ -151,6 +165,32 @@ def main(argv: list[str] | None = None) -> int:
               f"flows touched cut {r['flows_touched_ratio']:.1f}x, "
               f"wall speedup {r['wall_speedup']:.2f}x "
               f"(worst completion diff {e8['worst_completion_rel_diff']:.2e})")
+
+    if "e9_million_entity" in baseline:
+        e9 = baseline["e9_million_entity"]
+        hdr = (f"{'structure':<10} {'sched ev/s':>11} {'run ev/s':>10} "
+               f"{'events':>10} {'migrations':>10}")
+        print(hdr)
+        print("-" * len(hdr))
+        for name, row in e9["results"].items():
+            print(f"{name:<10} {row['schedule_eps']:>11,.0f} "
+                  f"{row['run_eps']:>10,.0f} {row['events']:>10,} "
+                  f"{row.get('migrations', '-'):>10}")
+        if "adaptive_vs_heap" in e9:
+            path = e9["results"]["adaptive"].get("migration_path", [])
+            print(f"adaptive vs heap at {e9['entities']:,} entities: "
+                  f"{e9['adaptive_vs_heap']:.2f}x "
+                  f"(migrations: {' '.join(path) or 'none'}; "
+                  f"target {e9['target_eps']:,} ev/s)")
+
+    if not args.smoke and args.section in ("all", "e9") \
+            and "e9_million_entity" in baseline:
+        ratio = baseline["e9_million_entity"].get("adaptive_vs_heap", 0.0)
+        if ratio < E9_ADAPTIVE_FLOOR:
+            print(f"FAIL: adaptive queue at {ratio:.2f}x of heap at "
+                  f"million-entity scale, below the {E9_ADAPTIVE_FLOOR}x "
+                  f"floor — the migration policy regressed", file=sys.stderr)
+            return 1
 
     if not args.smoke and args.section in ("all", "e8") \
             and "e8_flow_sharing" in baseline:

@@ -69,7 +69,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_prof.add_argument("--horizon", type=float, default=10.0,
                         help="sim-time horizon for --model hold")
     p_prof.add_argument("--queue", default="heap",
-                        help="event-list structure (linear|heap|splay|calendar|ladder)")
+                        help="event-list structure "
+                             "(linear|heap|splay|calendar|ladder|adaptive)")
     p_prof.add_argument("--seed", type=int, default=0)
     p_prof.add_argument("--top", type=int, default=15,
                         help="hot-spot table rows")

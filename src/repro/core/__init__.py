@@ -5,7 +5,8 @@ Everything in :mod:`repro` runs on this kernel.  Quick tour:
 * :class:`~repro.core.engine.Simulator` — event-driven engine (the default).
 * :class:`~repro.core.timedriven.TimeDrivenSimulator` — fixed-increment engine.
 * :class:`~repro.core.tracedriven.TraceDrivenSimulator` — trace replay engine.
-* :mod:`~repro.core.queues` — five pluggable event-list structures.
+* :mod:`~repro.core.queues` — six pluggable event-list structures (including
+  the self-tuning :class:`~repro.core.queues.AdaptiveQueue`).
 * :mod:`~repro.core.process` — "active objects" (process-oriented modeling).
 * :mod:`~repro.core.resources` — servers, stores, containers.
 * :mod:`~repro.core.rng` — reproducible random streams.

@@ -39,7 +39,8 @@ class Simulator:
     ----------
     queue:
         Event-list structure: an :class:`EventQueue` instance or a registry
-        name (``"linear" | "heap" | "splay" | "calendar" | "ladder"``).
+        name (``"linear" | "heap" | "splay" | "calendar" | "ladder" |
+        "adaptive"``).
     seed:
         Root seed for all random streams drawn via :meth:`stream`.
     start_time:

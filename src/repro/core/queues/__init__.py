@@ -9,6 +9,7 @@ from __future__ import annotations
 
 from typing import Callable
 
+from .adaptive import AdaptiveQueue
 from .base import EventQueue
 from .calendar import CalendarQueue
 from .heap import HeapQueue
@@ -23,6 +24,7 @@ __all__ = [
     "SplayQueue",
     "CalendarQueue",
     "LadderQueue",
+    "AdaptiveQueue",
     "QUEUE_FACTORIES",
     "make_queue",
 ]
@@ -34,6 +36,7 @@ QUEUE_FACTORIES: dict[str, Callable[[], EventQueue]] = {
     "splay": SplayQueue,
     "calendar": CalendarQueue,
     "ladder": LadderQueue,
+    "adaptive": AdaptiveQueue,
 }
 
 

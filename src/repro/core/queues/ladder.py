@@ -16,15 +16,23 @@ Structure (three tiers):
     A stack of *rungs*; each rung is an array of buckets covering a time
     interval.  Rung *k+1* refines one oversized bucket of rung *k*.
 ``Bottom``
-    A small sorted list holding the imminent events; delete-min pops from
-    here.  When it empties, the next non-empty bucket of the lowest rung is
-    sorted into it (or re-bucketed into a new rung if it exceeds the
-    threshold).
+    A small sorted array holding the imminent events; delete-min reads it
+    through an advancing cursor (no per-pop memmove).  When the cursor
+    exhausts it, the next non-empty bucket of the lowest rung is sorted
+    wholesale and *becomes* Bottom (or is re-bucketed into a new rung if it
+    exceeds the threshold).
+
+Performance note (the E2 drain fix): every rung keeps an incremental
+record count, so emptiness checks are O(1).  The seed implementation
+recomputed ``len(rung)`` by slicing and summing all remaining buckets on
+every Bottom refill, which turned an N-event drain into O(N²/THRESHOLD)
+work — the 200× collapse recorded in BENCH_kernel.json before this fix.
 """
 
 from __future__ import annotations
 
 from bisect import insort_right
+from operator import attrgetter
 from typing import Iterator, Optional
 
 from ..events import Event
@@ -36,27 +44,24 @@ __all__ = ["LadderQueue"]
 #: than sorted directly into Bottom (the paper's THRES).
 _THRESHOLD = 50
 
+#: Target mean bucket occupancy when spawning a rung.  Occupancy ~1 (the
+#: seed's choice) makes every pop pay a full Bottom-refill round trip;
+#: a handful of events per bucket amortizes the refill across that many
+#: pops while keeping the per-bucket sort a tiny C call.
+_OCCUPANCY = 8
 
-class _ReverseKeyed:
-    """Descending-order wrapper so Bottom pops its minimum from the tail."""
-
-    __slots__ = ("event",)
-
-    def __init__(self, event: Event) -> None:
-        self.event = event
-
-    def __lt__(self, other: "_ReverseKeyed") -> bool:
-        return other.event.sort_key < self.event.sort_key
+_SORT_KEY = attrgetter("sort_key")
 
 
 class _Rung:
-    __slots__ = ("start", "width", "buckets", "cur")
+    __slots__ = ("start", "width", "buckets", "cur", "count")
 
     def __init__(self, start: float, width: float, nbuckets: int) -> None:
         self.start = start
         self.width = max(width, 1e-12)
         self.buckets: list[list[Event]] = [[] for _ in range(nbuckets)]
         self.cur = 0  # index of the first possibly-non-empty bucket
+        self.count = 0  # records currently stored (live + cancelled)
 
     @property
     def end(self) -> float:
@@ -69,16 +74,23 @@ class _Rung:
         if i < self.cur or i >= len(self.buckets):
             return False
         self.buckets[i].append(event)
+        self.count += 1
         return True
 
     def next_bucket(self) -> Optional[list[Event]]:
         """Detach and return the next non-empty bucket, advancing ``cur``."""
-        while self.cur < len(self.buckets):
-            bucket = self.buckets[self.cur]
-            self.cur += 1
+        buckets = self.buckets
+        n = len(buckets)
+        cur = self.cur
+        while cur < n:
+            bucket = buckets[cur]
+            cur += 1
             if bucket:
-                self.buckets[self.cur - 1] = []
+                buckets[cur - 1] = []
+                self.cur = cur
+                self.count -= len(bucket)
                 return bucket
+        self.cur = cur
         return None
 
     def bucket_bounds(self) -> tuple[float, float]:
@@ -87,7 +99,9 @@ class _Rung:
         return (self.start + i * self.width, self.start + (i + 1) * self.width)
 
     def __len__(self) -> int:
-        return sum(len(b) for b in self.buckets[self.cur:])
+        # O(1): incrementally maintained.  (Recomputing this by slicing
+        # ``buckets[cur:]`` on every refill was the quadratic-drain bug.)
+        return self.count
 
 
 class LadderQueue(EventQueue):
@@ -100,7 +114,11 @@ class LadderQueue(EventQueue):
         self._top_max = float("-inf")
         self._top_start = float("-inf")  # events beyond this go to Top
         self._rungs: list[_Rung] = []
-        self._bottom: list[_ReverseKeyed] = []
+        #: Bottom: events sorted ascending by sort key; ``_bot`` is the
+        #: read cursor — slots before it are already-popped ghosts, dropped
+        #: wholesale when Bottom is replaced on refill.
+        self._bottom: list[Event] = []
+        self._bot = 0
         self._size = 0
 
     # -- interface ------------------------------------------------------------
@@ -126,50 +144,63 @@ class LadderQueue(EventQueue):
         for rung in self._rungs:
             if t >= rung.start and rung.insert(event):
                 return
-        insort_right(self._bottom, _ReverseKeyed(event))
+        insort_right(self._bottom, event, lo=self._bot, key=_SORT_KEY)
 
     def _pop_any(self) -> Optional[Event]:
-        if self._size == 0:
-            return None
-        if not self._bottom:
-            self._refill_bottom()
-        if not self._bottom:
-            return None  # pragma: no cover - size bookkeeping guards this
-        self._size -= 1
-        return self._bottom.pop().event
+        # Aligned with pop_if_le: cancelled records are purged (with exact
+        # ``_dead`` bookkeeping) and the returned event's cancel hook is
+        # detached — so a later ``cancel()`` on an already-popped event can
+        # no longer fire this queue's callback and corrupt the dead count.
+        return self.pop_if_le(float("inf"))
+
+    def pop(self) -> Optional[Event]:
+        return self.pop_if_le(float("inf"))
 
     def pop_if_le(self, horizon: float) -> Optional[Event]:
-        bottom = self._bottom
         while True:
-            if not bottom and self._size:
-                self._refill_bottom()
-            while bottom and bottom[-1].event._cancelled:
-                bottom.pop()
-                self._size -= 1
-                self._dead -= 1
-            if bottom:
-                ev = bottom[-1].event
-                if ev.time > horizon:
-                    return None
-                bottom.pop()
-                self._size -= 1
-                ev._on_cancel = None
-                return ev
+            bottom = self._bottom
+            i = self._bot
+            if i < len(bottom):
+                ev = bottom[i]
+                if not ev._cancelled:
+                    if ev.time > horizon:
+                        return None
+                    self._bot = i + 1
+                    self._size -= 1
+                    ev._on_cancel = None
+                    return ev
+                # Purge the run of cancelled heads in one pass.
+                n = len(bottom)
+                while i < n and bottom[i]._cancelled:
+                    i += 1
+                    self._size -= 1
+                    self._dead -= 1
+                self._bot = i
+                continue
             if self._size == 0:
+                if bottom:
+                    self._bottom = []
+                    self._bot = 0
                 return None
+            self._refill_bottom()
 
     def peek(self) -> Optional[Event]:
         while True:
-            if not self._bottom and self._size:
-                self._refill_bottom()
-            while self._bottom and self._bottom[-1].event._cancelled:
-                self._bottom.pop()
+            bottom = self._bottom
+            i = self._bot
+            n = len(bottom)
+            while i < n:
+                ev = bottom[i]
+                if not ev._cancelled:
+                    self._bot = i
+                    return ev
+                i += 1
                 self._size -= 1
                 self._dead -= 1
-            if self._bottom:
-                return self._bottom[-1].event
+            self._bot = i
             if self._size == 0:
                 return None
+            self._refill_bottom()
 
     def __len__(self) -> int:
         return self._size
@@ -183,35 +214,39 @@ class LadderQueue(EventQueue):
             self._top_min = float("inf")
             self._top_max = float("-inf")
         for rung in self._rungs:
+            count = 0
             for i, bucket in enumerate(rung.buckets):
                 if bucket:
-                    rung.buckets[i] = [ev for ev in bucket
-                                       if not ev._cancelled]
-        while self._rungs and len(self._rungs[-1]) == 0:
+                    live = [ev for ev in bucket if not ev._cancelled]
+                    rung.buckets[i] = live
+                    count += len(live)
+            rung.count = count
+        while self._rungs and self._rungs[-1].count == 0:
             self._rungs.pop()
-        self._bottom = [it for it in self._bottom
-                        if not it.event._cancelled]
+        self._bottom = [ev for ev in self._bottom[self._bot:]
+                        if not ev._cancelled]
+        self._bot = 0
         self._size = (len(self._top) + len(self._bottom)
-                      + sum(len(r) for r in self._rungs))
+                      + sum(r.count for r in self._rungs))
 
     def _iter_events(self) -> Iterator[Event]:
         yield from self._top
         for rung in self._rungs:
             for bucket in rung.buckets:
                 yield from bucket
-        for item in self._bottom:
-            yield item.event
+        yield from self._bottom[self._bot:]
 
     # -- tier management --------------------------------------------------------
 
     def _refill_bottom(self) -> None:
-        """Move the earliest pending bucket (or Top) into sorted Bottom."""
-        while not self._bottom:
+        """Replace exhausted Bottom with the earliest pending bucket (or Top)."""
+        while True:
             # Drop exhausted rungs so their horizon reopens for insertion.
-            while self._rungs and len(self._rungs[-1]) == 0:
-                self._rungs.pop()
-            if self._rungs:
-                rung = self._rungs[-1]
+            rungs = self._rungs
+            while rungs and rungs[-1].count == 0:
+                rungs.pop()
+            if rungs:
+                rung = rungs[-1]
                 bucket = rung.next_bucket()
                 if bucket is None:
                     continue  # rung exhausted; loop pops it
@@ -219,12 +254,17 @@ class LadderQueue(EventQueue):
                     lo, hi = rung.bucket_bounds()
                     self._spawn_rung(bucket, lo, hi)
                     continue
-                for ev in bucket:
-                    insort_right(self._bottom, _ReverseKeyed(ev))
+                bucket.sort(key=_SORT_KEY)
+                self._bottom = bucket
+                self._bot = 0
                 return
             if self._top:
                 self._ladder_from_top()
+                if self._bot < len(self._bottom):
+                    return
                 continue
+            self._bottom = []
+            self._bot = 0
             return
 
     def _ladder_from_top(self) -> None:
@@ -234,26 +274,40 @@ class LadderQueue(EventQueue):
         lo, hi = self._top_min, self._top_max
         self._top_min = float("inf")
         self._top_max = float("-inf")
-        # Future insertions beyond the old max spill into the (new) Top.
-        self._top_start = hi if hi > lo else lo + 1.0
+        # The new horizon is the maximum *observed* timestamp: later pushes
+        # strictly beyond it spill into the (new) Top, ties at the boundary
+        # join Bottom where the full sort key orders them.  (The seed used
+        # ``lo + 1.0`` when every spilled event shared one timestamp — an
+        # arbitrary absolute offset that misrouted sub-unit-granularity
+        # workloads into an ever-growing insort'd Bottom.)
+        self._top_start = hi
         if len(events) <= _THRESHOLD or hi <= lo:
-            for ev in events:
-                insort_right(self._bottom, _ReverseKeyed(ev))
+            events.sort(key=_SORT_KEY)
+            self._bottom = events
+            self._bot = 0
             return
         self._spawn_rung(events, lo, hi)
 
     def _spawn_rung(self, events: list[Event], lo: float, hi: float) -> None:
         """Re-bucket *events* spanning [lo, hi] into a finer rung."""
-        n = max(len(events), 2)
         span = hi - lo
         if span <= 0:
-            # Degenerate: identical timestamps — ordering falls to Bottom sort.
-            for ev in events:
-                insort_right(self._bottom, _ReverseKeyed(ev))
+            # Degenerate: identical timestamps — ordering falls to Bottom
+            # sort.  Only reachable with Bottom exhausted (both callers),
+            # so the sorted batch simply becomes the new Bottom.
+            events.sort(key=_SORT_KEY)
+            self._bottom = events
+            self._bot = 0
             return
-        width = span / n
-        rung = _Rung(lo, width, n + 1)
+        nb = max(len(events) // _OCCUPANCY, 2)
+        width = span / nb
+        rung = _Rung(lo, width, nb + 1)
+        buckets = rung.buckets
+        start = rung.start
+        width = rung.width
+        last = nb  # max valid index; guards float roundoff at t == hi
         for ev in events:
-            if not rung.insert(ev):  # pragma: no cover - bounds guarantee fit
-                insort_right(self._bottom, _ReverseKeyed(ev))
+            i = int((ev.time - start) / width)
+            buckets[i if i < last else last].append(ev)
+        rung.count = len(events)
         self._rungs.append(rung)

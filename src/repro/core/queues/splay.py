@@ -119,14 +119,25 @@ class SplayQueue(EventQueue):
             return None
         node = self._min if self._min is not None else self._leftmost(self._root)
         assert node is not None
-        self._splay(node)
-        # node is now root with no left child; its right subtree becomes root.
+        # Unlink the minimum directly instead of splaying it to the root
+        # first.  The leftmost node has no left child, so its right subtree
+        # splices into its parent in O(1); splaying stays on the insert path,
+        # where the access-locality payoff lives.  Over a full drain each
+        # node is walked at most once while seeking the new minimum, so
+        # delete-min is amortized O(1) — the per-pop splay was pure rotation
+        # overhead (the 0.9× fused-protocol regression in BENCH_kernel.json).
         right = node.right
+        parent = node.parent
         if right is not None:
-            right.parent = None
-        self._root = right
+            right.parent = parent
+        if parent is None:
+            self._root = right
+        else:
+            parent.left = right
         self._size -= 1
-        self._min = self._leftmost(right) if right is not None else None
+        # Next-smallest: leftmost of the spliced subtree, else the parent
+        # (the minimum is always its parent's left child).
+        self._min = self._leftmost(right) if right is not None else parent
         node.left = node.right = node.parent = None
         return node.event
 

@@ -30,6 +30,7 @@ from __future__ import annotations
 from time import perf_counter_ns
 from typing import Any, Optional
 
+from ..core.queues import AdaptiveQueue
 from .export import (chrome_trace, metrics_csv, profile_markdown,
                      write_chrome_trace)
 from .profiler import HandlerProfiler
@@ -140,6 +141,17 @@ class ObsBinding:
         if telemetry is not None:
             telemetry.on_reallocate(flows, rescheduled, preserved)
 
+    def on_queue_migrate(self, src: str, dst: str, moved: int) -> None:
+        """The adaptive event queue switched its backing structure."""
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.marker(self.track, "queue",
+                          f"queue-migrate:{src}->{dst}", self.sim.now,
+                          {"from": src, "to": dst, "events_moved": moved})
+        telemetry = self.telemetry
+        if telemetry is not None:
+            telemetry.on_queue_migrate(src, dst, moved)
+
     def on_rollback(self, now: float, straggler_time: float,
                     restored_to: float, depth_events: int) -> None:
         """Time Warp rolled this LP back (straggler or anti-message)."""
@@ -192,6 +204,11 @@ class Observation:
         binding = ObsBinding(self, sim, track or f"sim{len(self.bindings)}")
         sim._obs = binding
         self.bindings.append(binding)
+        queue = getattr(sim, "_queue", None)
+        if isinstance(queue, AdaptiveQueue):
+            queue.on_migrate = binding.on_queue_migrate
+            if self.telemetry is not None:
+                self.telemetry.queue_backend = queue.backend_kind
         return self
 
     def attach_lps(self, lps) -> "Observation":
@@ -206,6 +223,10 @@ class Observation:
         if binding is not None and binding.obs is self:
             sim._obs = None
             self.bindings = [b for b in self.bindings if b is not binding]
+            queue = getattr(sim, "_queue", None)
+            if isinstance(queue, AdaptiveQueue) \
+                    and queue.on_migrate == binding.on_queue_migrate:
+                queue.on_migrate = None
 
     def observe_jobs(self) -> "Observation":
         """Record middleware job state transitions as trace markers."""

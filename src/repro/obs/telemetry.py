@@ -52,6 +52,12 @@ class Telemetry:
         self.realloc_flows = 0
         self.realloc_rescheduled = 0
         self.realloc_preserved = 0
+        #: Adaptive event-queue accounting (fed by
+        #: ``ObsBinding.on_queue_migrate``) — zero unless the simulator runs
+        #: on an :class:`~repro.core.queues.AdaptiveQueue`.
+        self.queue_migrations = 0
+        self.queue_migrated_events = 0
+        self.queue_backend: str | None = None
         self.start_wall = perf_counter()
         self.start_sim: float | None = None
         self._next_check = self.check_every
@@ -87,6 +93,12 @@ class Telemetry:
         self.realloc_flows += flows
         self.realloc_rescheduled += rescheduled
         self.realloc_preserved += preserved
+
+    def on_queue_migrate(self, src: str, dst: str, moved: int) -> None:
+        """Record one adaptive-queue backend switch moving *moved* events."""
+        self.queue_migrations += 1
+        self.queue_migrated_events += moved
+        self.queue_backend = dst
 
     # -- reporting -----------------------------------------------------------
 
@@ -129,6 +141,9 @@ class Telemetry:
             "realloc_flows_touched": self.realloc_flows,
             "realloc_rescheduled": self.realloc_rescheduled,
             "realloc_preserved": self.realloc_preserved,
+            "queue_migrations": self.queue_migrations,
+            "queue_migrated_events": self.queue_migrated_events,
+            "queue_backend": self.queue_backend,
             "commit_efficiency": ((self.events - self.rolled_back_events)
                                   / self.events if self.events else 1.0),
         }

@@ -18,7 +18,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..core.engine import Simulator
-from ..core.queues import CalendarQueue, HeapQueue, LadderQueue, LinearQueue, SplayQueue
+from ..core.queues import (
+    AdaptiveQueue,
+    CalendarQueue,
+    HeapQueue,
+    LadderQueue,
+    LinearQueue,
+    SplayQueue,
+)
 from ..core.timedriven import TimeDrivenSimulator
 from ..core.tracedriven import TraceDrivenSimulator
 from .record import SimulatorRecord
@@ -117,6 +124,10 @@ def classify_engine(sim: Simulator) -> dict[str, object]:
     else:
         des = DesKind.EVENT_DRIVEN
     queue = sim._queue  # noqa: SLF001 - introspection is this function's job
+    if isinstance(queue, AdaptiveQueue):
+        # Classify by what currently holds the events; the wrapper itself
+        # has no structure of its own.
+        queue = queue.backend
     if isinstance(queue, LinearQueue):
         qs = QueueStructure.LINEAR
     elif isinstance(queue, (HeapQueue, SplayQueue)):

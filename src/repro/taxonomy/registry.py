@@ -243,8 +243,9 @@ REPRO_RECORD = SimulatorRecord(
     validation=ValidationKind.MATHEMATICAL,
     runtime_components=True,
     notes={
-        "queue_structure": "pluggable: linear, heap, splay, calendar, ladder "
-                           "(calendar/ladder are the O(1) defaults at scale)",
+        "queue_structure": "pluggable: linear, heap, splay, calendar, ladder, "
+                           "adaptive (self-tuning: migrates between heap/"
+                           "calendar/ladder on the sampled workload)",
         "entity_mapping": "pluggable: dedicated / shared / pooled contexts",
         "execution": "sequential, CMB null-message and synchronous-window "
                      "conservative executors",

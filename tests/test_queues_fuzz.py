@@ -26,9 +26,25 @@ import random
 import pytest
 
 from repro.core import Event, Priority
-from repro.core.queues import QUEUE_FACTORIES, make_queue
+from repro.core.queues import QUEUE_FACTORIES, AdaptiveQueue, make_queue
 
 ALL_KINDS = sorted(QUEUE_FACTORIES)
+
+#: The registry's AdaptiveQueue defaults need thousands of operations per
+#: window before it even considers migrating; this variant shrinks every
+#: threshold so a 400-op run crosses them repeatedly — the point is to
+#: catch ordering divergence *across* backend migrations, not only within
+#: one structure.
+SMALL_ADAPTIVE = "adaptive-small"
+
+FUZZ_KINDS = ALL_KINDS + [SMALL_ADAPTIVE]
+
+
+def build_queue(kind: str):
+    if kind == SMALL_ADAPTIVE:
+        return AdaptiveQueue(window=24, ladder_size=48, calendar_size=12,
+                             calendar_skew=50.0, calendar_cancel=0.5)
+    return make_queue(kind)
 
 FIXED_SEEDS = [2009, 40962, 777216]
 
@@ -88,7 +104,7 @@ def run_differential(kind: str, seed: int, dist_name: str,
     tag = f"kind={kind} seed={seed} dist={dist_name}"
     rng = random.Random(seed)
     draw = DISTRIBUTIONS[dist_name]
-    q = make_queue(kind)
+    q = build_queue(kind)
     ref = RefQueue()
     seq = itertools.count()
     clock = 0.0
@@ -142,9 +158,27 @@ def run_differential(kind: str, seed: int, dist_name: str,
 
 @pytest.mark.parametrize("dist_name", sorted(DISTRIBUTIONS))
 @pytest.mark.parametrize("seed", FIXED_SEEDS)
-@pytest.mark.parametrize("kind", ALL_KINDS)
+@pytest.mark.parametrize("kind", FUZZ_KINDS)
 def test_differential_fixed_seeds(kind, seed, dist_name):
     run_differential(kind, seed, dist_name)
+
+
+def test_small_adaptive_migrates_during_fuzz():
+    """The shrunken variant must actually exercise migrations (else the
+    matrix silently tests nothing beyond the plain adaptive entry)."""
+    q = build_queue(SMALL_ADAPTIVE)
+    rng = random.Random(FIXED_SEEDS[0])
+    seq = itertools.count()
+    clock = 0.0
+    for _ in range(300):
+        if rng.random() < 0.6:
+            q.push(Event(clock + rng.uniform(0.0, 100.0), next(seq),
+                         lambda: None))
+        else:
+            ev = q.pop()
+            if ev is not None:
+                clock = max(clock, ev.time)
+    assert q.migrations > 0
 
 
 @pytest.mark.skipif(not os.environ.get("REPRO_FUZZ_RANDOM")
@@ -159,7 +193,7 @@ def test_differential_random_burst():
     else:
         seeds = [random.SystemRandom().randrange(2**32) for _ in range(3)]
     for seed in seeds:
-        for kind in ALL_KINDS:
+        for kind in FUZZ_KINDS:
             for dist_name in sorted(DISTRIBUTIONS):
                 # assertion messages carry the seed; REPRO_FUZZ_SEED replays
                 run_differential(kind, seed, dist_name)
