@@ -19,9 +19,10 @@ the harness can run on noisy CI machines without flaking.
 the ``e7_executors`` key), ``e8`` (the incremental bandwidth-sharing
 comparison from ``bench_flow_sharing.py``, merged as ``e8_flow_sharing``),
 ``e9`` (the million-entity adaptive-queue scenario from
-``bench_e9_million.py``, merged as ``e9_million_entity``), or ``all``.
-A partial refresh merges into the existing baseline file instead of
-overwriting the other sections.
+``bench_e9_million.py``, merged as ``e9_million_entity``), ``e10`` (the
+campaign process-pool fan-out from ``bench_e10_campaign.py``, merged as
+``e10_campaign``), or ``all``.  A partial refresh merges into the existing
+baseline file instead of overwriting the other sections.
 """
 
 from __future__ import annotations
@@ -42,6 +43,7 @@ for p in (str(_HERE), str(_ROOT / "src")):
 
 from bench_e7_committed import collect_e7  # noqa: E402
 from bench_e9_million import collect_e9  # noqa: E402
+from bench_e10_campaign import collect_e10  # noqa: E402
 from bench_flow_sharing import collect_e8  # noqa: E402
 from bench_kernel_hotpath import collect_baseline  # noqa: E402
 
@@ -61,6 +63,14 @@ E8_RESCHEDULE_FLOOR = 3.0
 #: not machine-to-machine eps variance).
 E9_ADAPTIVE_FLOOR = 1.1
 
+#: E10 acceptance floor: the process-pool campaign runner must cut
+#: wall-clock at least this much at 4 workers vs serial on a 100-run
+#: M/M/1 campaign.  Run-level parallelism is CPU-bound, so the floor is
+#: only checked on machines with >= 4 cores (byte-identical per-seed
+#: records are checked everywhere, including smoke).
+E10_SPEEDUP_FLOOR = 3.0
+E10_MIN_CPUS = 4
+
 
 def main(argv: list[str] | None = None) -> int:
     ap = argparse.ArgumentParser(description=__doc__)
@@ -72,7 +82,8 @@ def main(argv: list[str] | None = None) -> int:
                     help="output JSON path")
     ap.add_argument("--smoke", action="store_true",
                     help="tiny workloads, no speedup floor (CI smoke)")
-    ap.add_argument("--section", choices=("all", "kernel", "e7", "e8", "e9"),
+    ap.add_argument("--section",
+                    choices=("all", "kernel", "e7", "e8", "e9", "e10"),
                     default="all",
                     help="which baseline section(s) to refresh; partial "
                          "refreshes merge into the existing file")
@@ -82,7 +93,7 @@ def main(argv: list[str] | None = None) -> int:
     scale = 0.02 if args.smoke else args.scale
 
     t0 = time.time()
-    if args.section in ("e7", "e8", "e9") and args.out.exists():
+    if args.section in ("e7", "e8", "e9", "e10") and args.out.exists():
         baseline = json.loads(args.out.read_text())
     elif args.section in ("all", "kernel"):
         kernel = collect_baseline(repeats=repeats, scale=scale)
@@ -112,6 +123,13 @@ def main(argv: list[str] | None = None) -> int:
         entities = max(20_000, int(1_000_000 * scale))
         baseline["e9_million_entity"] = collect_e9(
             entities=entities, repeats=repeats)
+
+    if args.section in ("all", "e10"):
+        e10_scale = 0.1 if args.smoke else 1.0
+        baseline["e10_campaign"] = collect_e10(
+            runs=max(10, int(100 * e10_scale)),
+            jobs=max(500, int(3_000 * e10_scale)),
+            repeats=repeats)
 
     baseline["created"] = time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime())
     baseline["python"] = platform.python_version()
@@ -182,6 +200,39 @@ def main(argv: list[str] | None = None) -> int:
                   f"{e9['adaptive_vs_heap']:.2f}x "
                   f"(migrations: {' '.join(path) or 'none'}; "
                   f"target {e9['target_eps']:,} ev/s)")
+
+    if "e10_campaign" in baseline:
+        e10 = baseline["e10_campaign"]
+        hdr = (f"{'config':<8} {'workers':>7} {'wall s':>8} {'speedup':>8} "
+               f"{'identical':>10}")
+        print(hdr)
+        print("-" * len(hdr))
+        for name, row in e10["results"].items():
+            print(f"{name:<8} {row['workers']:>7} "
+                  f"{row['wall_seconds']:>8.3f} {row['speedup']:>7.2f}x "
+                  f"{str(row['identical']):>10}")
+        print(f"campaign: {e10['runs']} x M/M/1({e10['rho']}) "
+              f"{e10['jobs_per_run']} jobs, {e10['cpu_count']} cpu(s); "
+              f"byte-identical records: {e10['all_identical']}")
+
+    if args.section in ("all", "e10") and "e10_campaign" in baseline:
+        e10 = baseline["e10_campaign"]
+        if not e10["all_identical"]:
+            print("FAIL: campaign per-seed metric records diverged between "
+                  "serial and parallel execution — the runner lost "
+                  "determinism", file=sys.stderr)
+            return 1
+        if not args.smoke and e10["cpu_count"] >= E10_MIN_CPUS:
+            if e10["speedup_at_max_workers"] < E10_SPEEDUP_FLOOR:
+                print(f"FAIL: campaign speedup "
+                      f"{e10['speedup_at_max_workers']:.2f}x at 4 workers "
+                      f"below the {E10_SPEEDUP_FLOOR}x floor — the "
+                      f"process-pool runner regressed", file=sys.stderr)
+                return 1
+        elif not args.smoke:
+            print(f"note: e10 speedup floor skipped "
+                  f"({e10['cpu_count']} cpu(s) < {E10_MIN_CPUS}); "
+                  f"determinism gate still enforced")
 
     if not args.smoke and args.section in ("all", "e9") \
             and "e9_million_entity" in baseline:

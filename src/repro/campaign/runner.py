@@ -1,0 +1,324 @@
+"""Process-pool campaign runner — fan runs across cores, deterministically.
+
+The one shape of multi-core parallelism CPython gives a discrete-event
+simulator for free is *run-level*: independent replications share nothing,
+so each can own a whole process.  This runner implements that with an
+explicit worker protocol rather than ``multiprocessing.Pool`` because the
+campaign needs three things Pool does not give cleanly:
+
+* **per-run timeout + retry** — a hung run is killed (its worker is
+  terminated and respawned) and retried up to ``retries`` times, without
+  poisoning the rest of the campaign;
+* **chunked dispatch with backpressure** — at most ``workers × chunksize``
+  runs are enqueued ahead, so a million-cell matrix never materializes in
+  the task queue;
+* **deterministic results** — records are reassembled by run index, so the
+  output is byte-identical whatever order workers finish in (and identical
+  to a serial run, since every run's RNG seed is baked into its
+  :class:`~repro.campaign.spec.RunSpec` before dispatch).
+
+Worker protocol (all messages are tuples of picklable builtins)::
+
+    parent -> tasks  : (index, scenario, params, point, rep, seed, attempt)
+    parent -> tasks  : None                          # shutdown sentinel
+    worker -> results: ("start", worker_id, index, attempt)
+    worker -> results: ("done",  worker_id, index, attempt, record_dict)
+
+The parent clocks a run from its ``start`` message; a run that exceeds
+``timeout`` wall seconds gets its worker terminated (the worker is mid-
+scenario, not holding a queue lock) and a fresh worker spawned in its
+place.  Stale ``done`` messages from a terminated attempt are dropped by
+matching on ``(index, attempt)``.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing as mp
+import traceback
+from collections import deque
+from queue import Empty
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import Any, Callable, Sequence
+
+from ..core.errors import ConfigurationError
+from .scenarios import run_scenario
+from .spec import CampaignSpec, RunSpec
+from .stats import MetricSummary, summarize, summarize_points
+
+__all__ = ["RunRecord", "CampaignResult", "run_campaign", "run_specs"]
+
+
+@dataclass(slots=True)
+class RunRecord:
+    """Outcome of one run — plain picklable data, no live references."""
+
+    index: int
+    scenario: str
+    params: tuple
+    point: int
+    replication: int
+    seed: int
+    status: str = "ok"          #: ok | failed | timeout
+    attempts: int = 1
+    worker: int = -1            #: worker id, -1 for in-process (serial)
+    wall_seconds: float = 0.0
+    metrics: dict = field(default_factory=dict)
+    telemetry: dict = field(default_factory=dict)
+    error: str | None = None
+
+    @property
+    def params_dict(self) -> dict[str, Any]:
+        """The parameter assignment as a plain dict."""
+        return dict(self.params)
+
+    def canonical(self) -> dict:
+        """The deterministic identity of this run: everything that must be
+        byte-identical between serial and parallel execution (wall times,
+        worker ids, and retry counts are excluded by construction)."""
+        return {"index": self.index, "scenario": self.scenario,
+                "params": list(self.params), "point": self.point,
+                "replication": self.replication, "seed": self.seed,
+                "status": self.status, "metrics": self.metrics}
+
+
+def _task_tuple(spec: RunSpec, attempt: int) -> tuple:
+    return (spec.index, spec.scenario, spec.params, spec.point,
+            spec.replication, spec.seed, attempt)
+
+
+def _execute(task: tuple, worker: int) -> RunRecord:
+    """Run one task tuple to a finished record (shared serial/worker path)."""
+    index, scenario, params, point, rep, seed, attempt = task
+    rec = RunRecord(index=index, scenario=scenario, params=params,
+                    point=point, replication=rep, seed=seed,
+                    attempts=attempt, worker=worker)
+    t0 = perf_counter()
+    try:
+        metrics, telemetry = run_scenario(scenario, dict(params), seed)
+        rec.metrics = dict(metrics)
+        rec.telemetry = dict(telemetry)
+    except Exception:
+        rec.status = "failed"
+        rec.error = traceback.format_exc(limit=20)
+    rec.wall_seconds = perf_counter() - t0
+    return rec
+
+
+def _worker_main(worker_id: int, tasks, results) -> None:  # pragma: no cover
+    # Covered via subprocesses; coverage tooling does not see this frame.
+    while True:
+        task = tasks.get()
+        if task is None:
+            break
+        results.put(("start", worker_id, task[0], task[6]))
+        rec = _execute(task, worker_id)
+        results.put(("done", worker_id, task[0], task[6], rec))
+
+
+@dataclass
+class CampaignResult:
+    """All run records (in matrix order) plus campaign-level accounting."""
+
+    records: list[RunRecord]
+    workers: int
+    wall_seconds: float
+    timeouts: int = 0
+    retries_used: int = 0
+
+    @property
+    def n_ok(self) -> int:
+        """Runs that completed successfully."""
+        return sum(1 for r in self.records if r.status == "ok")
+
+    @property
+    def failures(self) -> list[RunRecord]:
+        """Records that did not finish with status ``ok``."""
+        return [r for r in self.records if r.status != "ok"]
+
+    def summaries(self, metrics: Sequence[str] | None = None,
+                  level: float = 0.95) -> dict[str, MetricSummary]:
+        """Cross-run statistics pooled over the whole campaign."""
+        return summarize(self.records, metrics, level)
+
+    def point_summaries(self, metrics: Sequence[str] | None = None,
+                        level: float = 0.95
+                        ) -> dict[int, dict[str, MetricSummary]]:
+        """Cross-run statistics per grid point."""
+        return summarize_points(self.records, metrics, level)
+
+    def metrics_bytes(self) -> bytes:
+        """Canonical bytes of the deterministic record content.
+
+        Equal bytes ⇔ identical per-seed results; the E10 benchmark gate
+        compares serial vs parallel executions with this.
+        """
+        return json.dumps([r.canonical() for r in self.records],
+                          sort_keys=True,
+                          separators=(",", ":")).encode("utf-8")
+
+
+def run_campaign(spec: CampaignSpec, workers: int = 1,
+                 timeout: float | None = None, retries: int = 1,
+                 chunksize: int | None = None, mp_context: str | None = None,
+                 progress: Callable[[str], None] | None = None
+                 ) -> CampaignResult:
+    """Expand *spec* and execute its run matrix (see :func:`run_specs`)."""
+    return run_specs(spec.expand(), workers=workers, timeout=timeout,
+                     retries=retries, chunksize=chunksize,
+                     mp_context=mp_context, progress=progress)
+
+
+def run_specs(runs: Sequence[RunSpec], workers: int = 1,
+              timeout: float | None = None, retries: int = 1,
+              chunksize: int | None = None, mp_context: str | None = None,
+              progress: Callable[[str], None] | None = None
+              ) -> CampaignResult:
+    """Execute an explicit list of runs; records come back in run order.
+
+    ``workers <= 1`` runs everything in-process (no pool, no pickling) —
+    that is both the speedup baseline and the determinism reference.
+    Per-run ``timeout`` applies only under the pool (a serial run cannot
+    be preempted); ``retries`` is the number of *extra* attempts granted
+    to a run that failed, timed out, or lost its worker.
+    """
+    if retries < 0:
+        raise ConfigurationError(f"retries must be >= 0, got {retries}")
+    if timeout is not None and timeout <= 0:
+        raise ConfigurationError(f"timeout must be > 0, got {timeout}")
+    t0 = perf_counter()
+    if workers <= 1 or len(runs) <= 1:
+        records = [_execute(_task_tuple(s, 1), -1) for s in runs]
+        return CampaignResult(records=records, workers=1,
+                              wall_seconds=perf_counter() - t0)
+    return _run_pool(runs, workers, timeout, retries, chunksize,
+                     mp_context, progress, t0)
+
+
+def _run_pool(runs: Sequence[RunSpec], workers: int, timeout: float | None,
+              retries: int, chunksize: int | None, mp_context: str | None,
+              progress: Callable[[str], None] | None,
+              t0: float) -> CampaignResult:
+    if mp_context is None:
+        # fork shares the already-imported interpreter (cheap, inherits
+        # test-registered scenarios); fall back to spawn where unavailable.
+        mp_context = "fork" if "fork" in mp.get_all_start_methods() else "spawn"
+    ctx = mp.get_context(mp_context)
+    workers = min(workers, len(runs))
+    window = workers * (chunksize if chunksize else
+                        max(2, min(32, len(runs) // workers or 1)))
+
+    tasks = ctx.Queue()
+    results = ctx.Queue()
+    pool: dict[int, Any] = {}
+    running: dict[int, tuple[int, int, float]] = {}  # wid -> (idx, att, t)
+    next_wid = 0
+
+    def spawn_worker() -> None:
+        nonlocal next_wid
+        wid = next_wid
+        next_wid += 1
+        proc = ctx.Process(target=_worker_main, args=(wid, tasks, results),
+                           daemon=True, name=f"campaign-w{wid}")
+        proc.start()
+        pool[wid] = proc
+
+    pending = deque(_task_tuple(s, 1) for s in runs)
+    attempts = {s.index: 1 for s in runs}
+    done: dict[int, RunRecord] = {}
+    by_index = {s.index: s for s in runs}
+    timeouts = 0
+    retries_used = 0
+    in_flight = [0]  # enqueued-but-unfinished runs (the dispatch window)
+
+    def dispatch() -> None:
+        while pending and in_flight[0] < window:
+            tasks.put(pending.popleft())
+            in_flight[0] += 1
+
+    def give_up(idx: int, status: str, err: str) -> None:
+        s = by_index[idx]
+        done[idx] = RunRecord(index=idx, scenario=s.scenario, params=s.params,
+                              point=s.point, replication=s.replication,
+                              seed=s.seed, status=status,
+                              attempts=attempts[idx], error=err)
+
+    def reap_or_retry(idx: int, status: str, err: str) -> None:
+        nonlocal retries_used
+        if attempts[idx] <= retries:
+            attempts[idx] += 1
+            retries_used += 1
+            pending.append(_task_tuple(by_index[idx], attempts[idx]))
+            in_flight[0] -= 1
+            dispatch()
+        else:
+            in_flight[0] -= 1
+            give_up(idx, status, err)
+
+    try:
+        for _ in range(workers):
+            spawn_worker()
+        dispatch()
+        while len(done) < len(runs):
+            try:
+                msg = results.get(timeout=0.05)
+            except Empty:  # no result yet — poll timers and worker liveness
+                msg = None
+            if msg is not None:
+                kind, wid, idx, att = msg[0], msg[1], msg[2], msg[3]
+                if att != attempts.get(idx) or idx in done:
+                    continue  # stale message from a superseded attempt
+                if kind == "start":
+                    running[wid] = (idx, att, perf_counter())
+                elif kind == "done":
+                    running.pop(wid, None)
+                    rec = msg[4]
+                    if rec.status == "failed" and attempts[idx] <= retries:
+                        reap_or_retry(idx, "failed", rec.error or "")
+                    else:
+                        in_flight[0] -= 1
+                        done[idx] = rec
+                        dispatch()
+                    if progress is not None and len(done) % 25 == 0:
+                        progress(f"[campaign] {len(done)}/{len(runs)} runs "
+                                 f"done ({timeouts} timeouts)")
+                continue
+            now = perf_counter()
+            if timeout is not None:
+                for wid, (idx, att, started) in list(running.items()):
+                    if now - started > timeout:
+                        timeouts += 1
+                        proc = pool.pop(wid)
+                        proc.terminate()
+                        proc.join(timeout=5.0)
+                        running.pop(wid, None)
+                        spawn_worker()
+                        reap_or_retry(idx, "timeout",
+                                      f"run exceeded {timeout}s wall timeout")
+            for wid, proc in list(pool.items()):
+                if not proc.is_alive():
+                    pool.pop(wid)
+                    crashed = running.pop(wid, None)
+                    spawn_worker()
+                    if crashed is not None:
+                        idx = crashed[0]
+                        reap_or_retry(idx, "failed",
+                                      f"worker died (exitcode "
+                                      f"{proc.exitcode})")
+    finally:
+        for _ in pool:
+            tasks.put(None)
+        deadline = perf_counter() + 5.0
+        for proc in pool.values():
+            proc.join(timeout=max(0.0, deadline - perf_counter()))
+        for proc in pool.values():
+            if proc.is_alive():
+                proc.terminate()
+        tasks.close()
+        results.close()
+
+    records = [done[s.index] for s in runs]
+    return CampaignResult(records=records, workers=workers,
+                          wall_seconds=perf_counter() - t0,
+                          timeouts=timeouts, retries_used=retries_used)

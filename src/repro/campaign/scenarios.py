@@ -1,0 +1,187 @@
+"""Campaign scenario registry — named, picklable-by-name run functions.
+
+A scenario is a function ``(params: dict, seed: int) -> (metrics, telemetry)``
+where *metrics* is a plain dict of deterministic numbers (same seed + params
+⇒ byte-identical values, regardless of which process ran it) and *telemetry*
+is a plain dict of wall-clock-dependent observability data (events/sec,
+wall seconds) that is reported but never compared.
+
+Workers receive only the scenario *name* and look the function up in this
+registry after import, so nothing callable ever crosses the process
+boundary — the worker→parent protocol stays plain tuples of builtins.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Mapping
+
+from ..core.errors import ConfigurationError
+from ..core.rng import StreamFactory
+
+__all__ = ["SCENARIOS", "register_scenario", "run_scenario", "theory_for"]
+
+ScenarioFn = Callable[[dict, int], tuple[dict, dict]]
+
+SCENARIOS: dict[str, ScenarioFn] = {}
+
+
+def register_scenario(name: str) -> Callable[[ScenarioFn], ScenarioFn]:
+    """Decorator registering a scenario under *name*."""
+    def deco(fn: ScenarioFn) -> ScenarioFn:
+        SCENARIOS[name] = fn
+        return fn
+    return deco
+
+
+def run_scenario(name: str, params: Mapping[str, Any],
+                 seed: int) -> tuple[dict, dict]:
+    """Execute one registered scenario; returns (metrics, telemetry)."""
+    fn = SCENARIOS.get(name)
+    if fn is None:
+        raise ConfigurationError(
+            f"unknown scenario {name!r}; registered: {sorted(SCENARIOS)}")
+    return fn(dict(params), int(seed))
+
+
+def _observed_queue_run(simulate, kwargs: dict, warmup: Any,
+                        n_jobs: int) -> tuple[dict, dict]:
+    """Shared tail for the queueing scenarios: run, truncate, package."""
+    from ..obs import Observation
+    from .stats import mser5
+
+    obs = Observation(telemetry=True)
+    if warmup == "mser5":
+        stats = simulate(n_jobs=n_jobs, warmup=0, seed=kwargs.pop("seed"),
+                         obs=obs, keep_series=True, **kwargs)
+        cut = mser5(stats.W_series)
+        series = stats.W_series[cut:]
+        metrics = stats.to_dict()
+        # Replace the fixed-warmup W with the MSER-5 truncated mean; the
+        # untruncated value stays visible for the truncation-effect column.
+        metrics["W_raw"] = metrics["W"]
+        metrics["W"] = (sum(series) / len(series)) if series else metrics["W"]
+        metrics["mser5_cut"] = int(cut)
+    else:
+        stats = simulate(n_jobs=n_jobs, warmup=int(warmup),
+                         seed=kwargs.pop("seed"), obs=obs, **kwargs)
+        metrics = stats.to_dict()
+    sim = obs.bindings[0].sim if obs.bindings else None
+    telemetry = obs.telemetry.snapshot(sim) if obs.telemetry is not None else {}
+    return metrics, telemetry
+
+
+@register_scenario("mm1")
+def mm1_scenario(params: dict, seed: int) -> tuple[dict, dict]:
+    """M/M/1 run: params rho (required), mu, jobs, warmup (int or 'mser5')."""
+    from ..validation import simulate_mm1
+
+    rho = float(params.get("rho", 0.6))
+    mu = float(params.get("mu", 1.0))
+    if not 0 < rho < 1:
+        raise ConfigurationError(f"mm1 rho must be in (0,1), got {rho}")
+    jobs = int(params.get("jobs", 20_000))
+    warmup = params.get("warmup", max(1, jobs // 10))
+    return _observed_queue_run(
+        simulate_mm1, {"lam": rho * mu, "mu": mu, "seed": seed},
+        warmup, jobs)
+
+
+@register_scenario("mmc")
+def mmc_scenario(params: dict, seed: int) -> tuple[dict, dict]:
+    """M/M/c run: params rho (per-server), c, mu, jobs, warmup."""
+    from ..validation import simulate_mmc
+
+    rho = float(params.get("rho", 0.6))
+    c = int(params.get("c", 2))
+    mu = float(params.get("mu", 1.0))
+    if not 0 < rho < 1 or c < 1:
+        raise ConfigurationError(f"mmc needs rho in (0,1) and c >= 1")
+    jobs = int(params.get("jobs", 20_000))
+    warmup = params.get("warmup", max(1, jobs // 10))
+    metrics, telemetry = _observed_queue_run(
+        simulate_mmc, {"lam": rho * c * mu, "mu": mu, "c": c, "seed": seed},
+        warmup, jobs)
+    metrics["servers"] = c
+    return metrics, telemetry
+
+
+@register_scenario("provision")
+def provision_scenario(params: dict, seed: int) -> tuple[dict, dict]:
+    """Server-provisioning study — the evolutionary-search demo scenario.
+
+    Genome parameters: ``servers`` (replica count) and ``policy``:
+
+    * ``pooled`` — one M/M/c station with *servers* servers sharing a queue;
+    * ``split`` — *servers* independent M/M/1 queues with the arrivals
+      randomly split (simulated as one representative queue at rate λ/c —
+      the queues are i.i.d. so the per-customer mean sojourn is identical).
+
+    Queueing theory says pooling dominates splitting at equal capacity, so
+    a correct search discovers ``policy=pooled`` with a moderate server
+    count when the objective charges a per-replica cost, e.g.
+    ``W + 0.15 * servers``.
+    """
+    from ..validation import simulate_mm1, simulate_mmc
+
+    lam = float(params.get("lam", 3.0))
+    mu = float(params.get("mu", 1.0))
+    c = int(params.get("servers", 4))
+    policy = str(params.get("policy", "pooled"))
+    jobs = int(params.get("jobs", 8_000))
+    warmup = params.get("warmup", max(1, jobs // 10))
+    if c < 1:
+        raise ConfigurationError(f"servers must be >= 1, got {c}")
+    if lam >= c * mu:
+        # Infeasible genome (offered load exceeds capacity): return a large
+        # finite penalty instead of raising, so the search can explore past
+        # the feasibility boundary without killing runs.
+        return ({"W": 1e9, "Wq": 1e9, "L": 1e9, "Lq": 1e9,
+                 "utilization": 1.0, "servers": c, "feasible": 0}, {})
+    if policy == "pooled":
+        metrics, telemetry = _observed_queue_run(
+            simulate_mmc, {"lam": lam, "mu": mu, "c": c, "seed": seed},
+            warmup, jobs)
+    elif policy == "split":
+        metrics, telemetry = _observed_queue_run(
+            simulate_mm1, {"lam": lam / c, "mu": mu, "seed": seed},
+            warmup, jobs)
+    else:
+        raise ConfigurationError(f"unknown policy {policy!r}")
+    metrics["servers"] = c
+    metrics["feasible"] = 1
+    return metrics, telemetry
+
+
+@register_scenario("quadratic")
+def quadratic_scenario(params: dict, seed: int) -> tuple[dict, dict]:
+    """Noisy parabola — a fast synthetic objective for search smoke tests.
+
+    ``y = (x - target)² + noise·N(0,1)``; the optimum is known, so tests
+    can assert the evolutionary loop actually converges.
+    """
+    x = float(params.get("x", 0.0))
+    target = float(params.get("target", 3.0))
+    noise = float(params.get("noise", 0.1))
+    stream = StreamFactory(seed).stream("quadratic")
+    y = (x - target) ** 2 + noise * stream.normal(0.0, 1.0)
+    return ({"y": float(y), "x": x}, {})
+
+
+def theory_for(scenario: str, params: Mapping[str, Any]):
+    """The analytic model matching a queueing scenario point (or None).
+
+    Returns an object with L/Lq/W/Wq/rho properties for ``mm1`` and
+    ``mmc`` points — what the CI-contains-theory verdict compares against.
+    """
+    from ..validation import MM1, MMc
+
+    p = dict(params)
+    mu = float(p.get("mu", 1.0))
+    if scenario == "mm1":
+        rho = float(p.get("rho", 0.6))
+        return MM1(rho * mu, mu)
+    if scenario == "mmc":
+        c = int(p.get("c", 2))
+        rho = float(p.get("rho", 0.6))
+        return MMc(rho * c * mu, mu, c)
+    return None

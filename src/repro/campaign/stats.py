@@ -1,0 +1,182 @@
+"""Cross-run statistics — means, variance, Student-t CIs, MSER-5 truncation.
+
+One simulated trajectory is an anecdote; the paper's Section-5 validation
+trend (and every MTTR/availability table in the dependability follow-up)
+rests on *ensembles*.  This module reduces a set of independent replications
+to the statistics that give theory comparisons teeth:
+
+* :func:`summarize` — per-metric mean, unbiased variance, and a Student-t
+  confidence interval across runs (replications are independent by seed
+  construction, so the plain t interval is exact-model-correct, unlike
+  within-run batch means which only approximate independence);
+* :func:`mser5` — White's MSER-5 warm-up truncation: delete the initial
+  transient that biases steady-state estimators, chosen as the truncation
+  point minimizing the standard error of the remaining batch means;
+* :func:`coverage_verdict` — does the CI contain the analytic value?  The
+  campaign upgrade of ``repro validate``'s point-tolerance check.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
+
+from ..core.errors import ConfigurationError
+
+__all__ = ["MetricSummary", "summarize", "summarize_points", "mser5",
+           "t_quantile", "coverage_verdict"]
+
+
+def t_quantile(p: float, df: int) -> float:
+    """Student-t quantile t_{p,df} (scipy-backed, like Monitor CIs)."""
+    if df < 1:
+        raise ConfigurationError(f"t quantile needs df >= 1, got {df}")
+    from scipy import stats  # local import keeps module import cheap
+
+    return float(stats.t.ppf(p, df))
+
+
+@dataclass(frozen=True, slots=True)
+class MetricSummary:
+    """Cross-run reduction of one metric over n independent replications."""
+
+    metric: str
+    n: int
+    mean: float
+    variance: float
+    level: float
+    halfwidth: float
+
+    @property
+    def std(self) -> float:
+        """Cross-run sample standard deviation."""
+        return math.sqrt(self.variance) if self.variance >= 0 else math.nan
+
+    @property
+    def lo(self) -> float:
+        """Lower CI bound."""
+        return self.mean - self.halfwidth
+
+    @property
+    def hi(self) -> float:
+        """Upper CI bound."""
+        return self.mean + self.halfwidth
+
+    def contains(self, value: float) -> bool:
+        """Is *value* inside the confidence interval?"""
+        return self.lo <= value <= self.hi
+
+    def to_dict(self) -> dict:
+        """Plain picklable dict (JSON/report-friendly)."""
+        return {"metric": self.metric, "n": self.n, "mean": self.mean,
+                "variance": self.variance, "level": self.level,
+                "halfwidth": self.halfwidth, "lo": self.lo, "hi": self.hi}
+
+
+def _summary(metric: str, values: Sequence[float],
+             level: float) -> MetricSummary:
+    n = len(values)
+    if n == 0:
+        return MetricSummary(metric, 0, math.nan, math.nan, level, math.inf)
+    mean = sum(values) / n
+    if n == 1:
+        return MetricSummary(metric, 1, mean, math.nan, level, math.inf)
+    var = sum((v - mean) ** 2 for v in values) / (n - 1)
+    half = t_quantile(0.5 + level / 2.0, n - 1) * math.sqrt(var / n)
+    return MetricSummary(metric, n, mean, var, level, half)
+
+
+def summarize(records: Iterable, metrics: Sequence[str] | None = None,
+              level: float = 0.95) -> dict[str, MetricSummary]:
+    """Reduce successful run records to per-metric cross-run summaries.
+
+    *records* are campaign :class:`~repro.campaign.runner.RunRecord` objects
+    (or anything with ``.status`` and ``.metrics``); failed runs are
+    excluded.  With ``metrics=None`` every numeric key present in the first
+    successful record is summarized.
+    """
+    if not 0 < level < 1:
+        raise ConfigurationError(f"CI level must be in (0,1), got {level}")
+    ok = [r for r in records if getattr(r, "status", "ok") == "ok"]
+    if not ok:
+        return {}
+    if metrics is None:
+        metrics = [k for k, v in ok[0].metrics.items()
+                   if isinstance(v, (int, float)) and not isinstance(v, bool)]
+    out: dict[str, MetricSummary] = {}
+    for m in metrics:
+        values = [float(r.metrics[m]) for r in ok if m in r.metrics]
+        out[m] = _summary(m, values, level)
+    return out
+
+
+def summarize_points(records: Iterable, metrics: Sequence[str] | None = None,
+                     level: float = 0.95) -> dict[int, dict[str, MetricSummary]]:
+    """Per-grid-point summaries: {point index: {metric: summary}}."""
+    by_point: dict[int, list] = {}
+    for r in records:
+        by_point.setdefault(r.point, []).append(r)
+    return {p: summarize(rs, metrics, level)
+            for p, rs in sorted(by_point.items())}
+
+
+def mser5(series: Sequence[float], batch: int = 5) -> int:
+    """MSER-5 warm-up truncation point (index into *series*).
+
+    Averages the series into batches of *batch* observations, then picks
+    the truncation d* minimizing ``var(z[d:]) / (n-d)²``-style standard
+    error of the remaining batch means (White's MSER statistic).  The
+    search is capped at half the batches — the standard guard against the
+    statistic's endpoint degeneracy — and returns ``d* × batch`` raw
+    observations to delete.
+    """
+    if batch < 1:
+        raise ConfigurationError(f"batch must be >= 1, got {batch}")
+    n_batches = len(series) // batch
+    if n_batches < 4:
+        return 0
+    z = [sum(series[i * batch:(i + 1) * batch]) / batch
+         for i in range(n_batches)]
+    # Prefix sums make each candidate truncation O(1): mser(d) =
+    # sum((z_i - mean_d)^2 for i >= d) / (n - d)^2.
+    best_d, best_stat = 0, math.inf
+    total = sum(z)
+    total_sq = sum(v * v for v in z)
+    removed = 0.0
+    removed_sq = 0.0
+    for d in range(n_batches // 2):
+        m = n_batches - d
+        s = total - removed
+        sq = total_sq - removed_sq
+        mean = s / m
+        stat = max(0.0, sq - m * mean * mean) / (m * m)
+        if stat < best_stat:
+            best_stat = stat
+            best_d = d
+        removed += z[d]
+        removed_sq += z[d] * z[d]
+    return best_d * batch
+
+
+def coverage_verdict(summaries: Mapping[str, MetricSummary],
+                     theory) -> dict[str, dict]:
+    """CI-contains-theory verdict per metric.
+
+    *theory* is an analytic model exposing the metric names as attributes
+    (``MM1``/``MMc``: L, Lq, W, Wq, rho) or a plain mapping.  Metrics with
+    no analytic counterpart are skipped.
+    """
+    out: dict[str, dict] = {}
+    for name, summ in summaries.items():
+        attr = "rho" if name == "utilization" else name
+        if isinstance(theory, Mapping):
+            value = theory.get(name, theory.get(attr))
+        else:
+            value = getattr(theory, attr, None)
+        if value is None or not isinstance(value, (int, float)):
+            continue
+        out[name] = {"theory": float(value), "lo": summ.lo, "hi": summ.hi,
+                     "mean": summ.mean, "n": summ.n,
+                     "contains": summ.contains(float(value))}
+    return out

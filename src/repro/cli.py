@@ -15,6 +15,8 @@ python -m repro profile [--model mm1|hold] [...]        # obs hot-spot hunt
 python -m repro classify                                # classify live engines
 python -m repro executors [--executor all] [...]        # E7 executor shoot-out
 python -m repro flows [--mode both] [...]               # E8 sharing-engine duel
+python -m repro campaign [--grid rho=0.5,0.7] [...]     # E10 ensemble engine
+python -m repro campaign --evolve --space c=1:8:int ... # evolutionary search
 ```
 """
 
@@ -56,6 +58,13 @@ def build_parser() -> argparse.ArgumentParser:
                        help="write a Chrome trace (Perfetto-loadable) of the run")
     p_val.add_argument("--profile", action="store_true",
                        help="print the handler hot-spot table and run telemetry")
+    p_val.add_argument("--runs", type=int, default=1,
+                       help="independent replications; >1 adds the campaign "
+                            "CI-contains-theory verdict to the point check")
+    p_val.add_argument("--workers", type=int, default=1,
+                       help="campaign worker processes for --runs > 1")
+    p_val.add_argument("--level", type=float, default=0.95,
+                       help="confidence level for the CI verdict")
 
     p_prof = sub.add_parser(
         "profile", help="run a workload under the obs profiler/tracer")
@@ -125,6 +134,49 @@ def build_parser() -> argparse.ArgumentParser:
     p_fl.add_argument("--verify", action="store_true",
                       help="cross-check every incremental update against "
                            "the full reference while running (slow)")
+
+    p_cp = sub.add_parser(
+        "campaign",
+        help="run a Monte Carlo ensemble (or evolutionary search) of a "
+             "registered scenario")
+    p_cp.add_argument("--scenario", default="mm1",
+                      help="registered scenario name (mm1|mmc|provision|...)")
+    p_cp.add_argument("--grid", action="append", default=[],
+                      metavar="NAME=V1,V2,...",
+                      help="sweep axis (repeatable); values are parsed as "
+                           "int/float when possible")
+    p_cp.add_argument("--set", action="append", default=[], dest="base",
+                      metavar="NAME=VALUE",
+                      help="base parameter applied to every run (repeatable)")
+    p_cp.add_argument("--runs", type=int, default=5,
+                      help="replications per grid point")
+    p_cp.add_argument("--workers", type=int, default=1,
+                      help="worker processes (1 = serial, in-process)")
+    p_cp.add_argument("--seed", type=int, default=0,
+                      help="campaign root seed")
+    p_cp.add_argument("--metrics", default=None,
+                      help="comma-separated metrics to summarize "
+                           "(default: every numeric metric)")
+    p_cp.add_argument("--level", type=float, default=0.95,
+                      help="confidence level for the cross-run intervals")
+    p_cp.add_argument("--timeout", type=float, default=None,
+                      help="per-run wall timeout in seconds (pool only)")
+    p_cp.add_argument("--retries", type=int, default=1,
+                      help="extra attempts for failed/hung runs")
+    p_cp.add_argument("--evolve", action="store_true",
+                      help="evolutionary search instead of a grid sweep")
+    p_cp.add_argument("--space", action="append", default=[],
+                      metavar="NAME=LO:HI[:int]|A,B,C",
+                      help="search axis for --evolve (repeatable)")
+    p_cp.add_argument("--objective", default="W",
+                      help="metric expression to optimize, e.g. "
+                           "'W + 0.15 * servers'")
+    p_cp.add_argument("--mode", choices=("min", "max"), default="min",
+                      help="optimize direction for --evolve")
+    p_cp.add_argument("--population", type=int, default=12,
+                      help="genomes per generation for --evolve")
+    p_cp.add_argument("--generations", type=int, default=8,
+                      help="generations for --evolve")
     return parser
 
 
@@ -195,9 +247,37 @@ def _cmd_validate(args) -> int:
     for qty, analytic, measured, err in report.to_rows():
         print(f"  {qty:<12} {analytic:>10.4f} {measured:>10.4f} {err:>7.2%}")
     print(f"  worst relative error: {report.max_rel_error:.2%}")
+    ci_ok = True
+    if args.runs > 1:
+        ci_ok = _validate_ensemble(args, model)
     if obs is not None:
         _emit_obs(obs, trace=args.trace, profile=args.profile, top=15)
-    return 0 if report.max_rel_error < 0.15 else 1
+    return 0 if report.max_rel_error < 0.15 and ci_ok else 1
+
+
+def _validate_ensemble(args, model) -> bool:
+    """The campaign upgrade of validate: CI-contains-theory over N runs."""
+    from .campaign import CampaignSpec, coverage_verdict, run_campaign
+
+    spec = CampaignSpec("mm1", base={"rho": args.rho, "jobs": args.jobs},
+                        replications=args.runs, root_seed=args.seed)
+    result = run_campaign(spec, workers=args.workers)
+    summaries = result.summaries(["L", "Lq", "W", "Wq", "utilization"],
+                                 level=args.level)
+    verdict = coverage_verdict(summaries, model)
+    print(f"\n  ensemble: {result.n_ok}/{len(result.records)} runs ok, "
+          f"{result.workers} worker(s), {result.wall_seconds:.2f}s wall")
+    print(f"  {'qty':<12} {'analytic':>10} {'mean':>10} "
+          f"{int(args.level * 100):>3}% CI{'':<17} verdict")
+    all_contain = result.n_ok == len(result.records)
+    for qty in sorted(verdict):
+        v = verdict[qty]
+        mark = "contains" if v["contains"] else "MISSES"
+        all_contain &= v["contains"]
+        print(f"  {qty:<12} {v['theory']:>10.4f} {v['mean']:>10.4f} "
+              f"[{v['lo']:>10.4f}, {v['hi']:>10.4f}]  {mark}")
+    print(f"  CI verdict: {'theory inside every interval' if all_contain else 'some interval excludes theory'}")
+    return all_contain
 
 
 def _emit_obs(obs, trace: str | None, profile: bool, top: int) -> None:
@@ -357,6 +437,91 @@ def _cmd_flows(args) -> int:
     return 0
 
 
+def _parse_value(text: str):
+    for cast in (int, float):
+        try:
+            return cast(text)
+        except ValueError:
+            continue
+    return text
+
+
+def _parse_assignments(entries, split_values: bool) -> dict:
+    out = {}
+    for entry in entries:
+        if "=" not in entry:
+            raise SystemExit(f"error: {entry!r} is not NAME=VALUE")
+        name, _, text = entry.partition("=")
+        if split_values:
+            out[name.strip()] = [_parse_value(v) for v in text.split(",")]
+        else:
+            out[name.strip()] = _parse_value(text)
+    return out
+
+
+def _cmd_campaign(args) -> int:
+    from .campaign import (CampaignSpec, coverage_verdict, parse_space,
+                           evolve, run_campaign, theory_for)
+
+    if args.evolve:
+        if not args.space:
+            print("error: --evolve needs at least one --space axis",
+                  file=sys.stderr)
+            return 2
+        space = parse_space(args.space)
+        base = _parse_assignments(args.base, split_values=False)
+        res = evolve(args.scenario, space, args.objective, mode=args.mode,
+                     population=args.population,
+                     generations=args.generations, replications=args.runs,
+                     base=base, root_seed=args.seed, workers=args.workers,
+                     timeout=args.timeout,
+                     progress=lambda line: print(line, file=sys.stderr))
+        print(f"evolutionary search: {args.scenario}  objective "
+              f"{args.mode} {args.objective!r}")
+        for h in res.history:
+            print(f"  gen {h['generation']:>3}  best {h['best_fitness']:>10.6g}"
+                  f"  mean {h['mean_fitness']:>10.6g}")
+        print(res.report())
+        return 0
+
+    grid = _parse_assignments(args.grid, split_values=True)
+    base = _parse_assignments(args.base, split_values=False)
+    spec = CampaignSpec(args.scenario, base=base, grid=grid,
+                        replications=args.runs, root_seed=args.seed)
+    result = run_campaign(spec, workers=args.workers, timeout=args.timeout,
+                          retries=args.retries,
+                          progress=lambda line: print(line, file=sys.stderr))
+    metrics = args.metrics.split(",") if args.metrics else None
+    points = spec.points()
+    print(f"campaign: {args.scenario}  {len(points)} point(s) x {args.runs} "
+          f"rep(s) = {len(result.records)} runs  "
+          f"({result.workers} worker(s), {result.wall_seconds:.2f}s wall, "
+          f"{result.n_ok} ok, {result.timeouts} timeouts)")
+    for point, summaries in result.point_summaries(metrics,
+                                                   args.level).items():
+        params = points[point]
+        label = ", ".join(f"{k}={v}" for k, v in sorted(params.items()))
+        print(f"  point {point}: {label}")
+        theory = theory_for(args.scenario, params)
+        verdict = coverage_verdict(summaries, theory) if theory else {}
+        for name in sorted(summaries):
+            s = summaries[name]
+            line = (f"    {name:<14} mean {s.mean:>10.4g}  "
+                    f"±{s.halfwidth:<10.3g} "
+                    f"[{s.lo:>10.4g}, {s.hi:>10.4g}] n={s.n}")
+            if name in verdict:
+                line += ("  theory "
+                         f"{verdict[name]['theory']:.4g} "
+                         + ("ok" if verdict[name]["contains"] else "MISS"))
+            print(line)
+    for rec in result.failures:
+        first_line = (rec.error or "").strip().splitlines()
+        print(f"  FAILED run {rec.index} ({rec.status}, "
+              f"{rec.attempts} attempts): "
+              f"{first_line[-1] if first_line else ''}", file=sys.stderr)
+    return 0 if result.n_ok == len(result.records) else 1
+
+
 _COMMANDS = {
     "table1": _cmd_table1,
     "survey": _cmd_survey,
@@ -367,6 +532,7 @@ _COMMANDS = {
     "classify": _cmd_classify,
     "executors": _cmd_executors,
     "flows": _cmd_flows,
+    "campaign": _cmd_campaign,
 }
 
 

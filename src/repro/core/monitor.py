@@ -335,20 +335,27 @@ class Monitor:
     # -- reporting -----------------------------------------------------------
 
     def summary(self, t_end: float | None = None) -> dict[str, dict[str, float]]:
-        """Flat dict-of-dicts summary, JSON/CSV-friendly."""
+        """Flat dict-of-dicts summary, JSON/CSV-friendly.
+
+        Values are coerced to builtin ``int``/``float`` (never numpy scalars
+        or live collector references), so a summary survives
+        ``pickle``/``json`` round-trips across process boundaries — campaign
+        workers ship these dicts back over the result queue.
+        """
         out: dict[str, dict[str, float]] = {}
         for name, t in sorted(self._tallies.items()):
             out[f"tally.{name}"] = {
-                "n": t.count, "mean": t.mean, "std": t.std,
-                "min": t.minimum, "max": t.maximum,
+                "n": int(t.count), "mean": float(t.mean), "std": float(t.std),
+                "min": float(t.minimum), "max": float(t.maximum),
             }
         for name, lv in sorted(self._levels.items()):
             out[f"level.{name}"] = {
-                "mean": lv.mean(t_end), "min": lv.minimum, "max": lv.maximum,
-                "final": lv.level,
+                "mean": float(lv.mean(t_end)), "min": float(lv.minimum),
+                "max": float(lv.maximum), "final": float(lv.level),
             }
         for name, c in sorted(self._counters.items()):
-            out[f"counter.{name}"] = {"n": c.count, "rate": c.rate(t_end)}
+            out[f"counter.{name}"] = {"n": int(c.count),
+                                      "rate": float(c.rate(t_end))}
         return out
 
     def report(self, t_end: float | None = None) -> str:

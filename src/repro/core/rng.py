@@ -181,8 +181,9 @@ class StreamFactory:
     cached by name so asking twice returns the *same* stream object.
     """
 
-    def __init__(self, seed: int = 0) -> None:
+    def __init__(self, seed: int = 0, spawn_key: str | None = None) -> None:
         self.seed = int(seed)
+        self.spawn_key = spawn_key
         self._root = np.random.SeedSequence(self.seed)
         self._streams: dict[str, Stream] = {}
 
@@ -201,8 +202,26 @@ class StreamFactory:
             self._streams[name] = st
         return st
 
+    def spawn(self, key: str | int) -> "StreamFactory":
+        """Derive an independent child factory keyed by *key*.
+
+        The child's root seed is a stable 63-bit hash of ``(seed, key)``, so
+        the same (seed, key) pair names the same child on every machine and
+        in every process — this is how campaign runs get per-replication
+        RNG universes that a worker can reconstruct from two plain values.
+
+        Child streams are drawn from ``SeedSequence([child_seed, name])``
+        while in-run streams use ``SeedSequence([seed, name])``; distinct
+        roots keep the two universes from ever sharing a stream, and
+        spawning is composable (``spawn(a).spawn(b)`` is itself stable).
+        """
+        child_seed = _stable_hash(f"{self.seed}\x1fspawn\x1f{key}") \
+            & 0x7FFFFFFFFFFFFFFF
+        return StreamFactory(child_seed, spawn_key=str(key))
+
     def __repr__(self) -> str:  # pragma: no cover
-        return f"<StreamFactory seed={self.seed} streams={len(self._streams)}>"
+        key = f" key={self.spawn_key!r}" if self.spawn_key is not None else ""
+        return f"<StreamFactory seed={self.seed}{key} streams={len(self._streams)}>"
 
 
 def _stable_hash(name: str) -> int:

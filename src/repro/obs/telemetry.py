@@ -120,29 +120,34 @@ class Telemetry:
         return line
 
     def snapshot(self, sim: Any = None, wall: float | None = None) -> dict:
-        """Current run-rate metrics as a flat dict (CSV/JSON-friendly)."""
+        """Current run-rate metrics as a flat dict (CSV/JSON-friendly).
+
+        Every value is a builtin ``int``/``float``/``str``/``None`` — no
+        numpy scalars and no references back into the simulator — so the
+        snapshot pickles cleanly across the campaign worker→parent queue.
+        """
         wall = perf_counter() if wall is None else wall
-        elapsed = wall - self.start_wall
+        elapsed = float(wall - self.start_wall)
         now = float(getattr(sim, "now", 0.0)) if sim is not None else 0.0
         start_sim = self.start_sim if self.start_sim is not None else 0.0
         sim_span = now - start_sim if sim is not None else 0.0
         return {
-            "events": self.events,
+            "events": int(self.events),
             "wall_seconds": elapsed,
             "events_per_sec": self.events / elapsed if elapsed > 0 else 0.0,
             "sim_time": now,
             "sim_wall_ratio": sim_span / elapsed if elapsed > 0 else 0.0,
             "queue_depth": int(getattr(sim, "pending", 0)) if sim is not None else 0,
-            "heartbeats": self.heartbeats,
-            "rollbacks": self.rollbacks,
-            "rolled_back_events": self.rolled_back_events,
-            "max_rollback_depth": self.max_rollback_depth,
-            "reallocs": self.reallocs,
-            "realloc_flows_touched": self.realloc_flows,
-            "realloc_rescheduled": self.realloc_rescheduled,
-            "realloc_preserved": self.realloc_preserved,
-            "queue_migrations": self.queue_migrations,
-            "queue_migrated_events": self.queue_migrated_events,
+            "heartbeats": int(self.heartbeats),
+            "rollbacks": int(self.rollbacks),
+            "rolled_back_events": int(self.rolled_back_events),
+            "max_rollback_depth": int(self.max_rollback_depth),
+            "reallocs": int(self.reallocs),
+            "realloc_flows_touched": int(self.realloc_flows),
+            "realloc_rescheduled": int(self.realloc_rescheduled),
+            "realloc_preserved": int(self.realloc_preserved),
+            "queue_migrations": int(self.queue_migrations),
+            "queue_migrated_events": int(self.queue_migrated_events),
             "queue_backend": self.queue_backend,
             "commit_efficiency": ((self.events - self.rolled_back_events)
                                   / self.events if self.events else 1.0),

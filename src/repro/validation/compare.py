@@ -39,6 +39,18 @@ class QueueRunStats:
     Wq: float
     utilization: float
     W_ci_halfwidth: float
+    #: per-job sojourn times in completion order (kept only when the run was
+    #: asked for them via ``keep_series=True``) — the raw material for
+    #: MSER-5 warm-up truncation in :mod:`repro.campaign.stats`
+    W_series: tuple = ()
+
+    def to_dict(self) -> dict[str, float]:
+        """Scalar statistics as a plain picklable dict (series excluded)."""
+        return {"completed": int(self.completed), "L": float(self.L),
+                "Lq": float(self.Lq), "W": float(self.W),
+                "Wq": float(self.Wq),
+                "utilization": float(self.utilization),
+                "W_ci_halfwidth": float(self.W_ci_halfwidth)}
 
 
 @dataclass(slots=True)
@@ -68,7 +80,7 @@ class ValidationReport:
 
 def _run_queue(sim: Simulator, servers: int, arrival_gap: Callable[[], float],
                service_time: Callable[[], float], n_jobs: int,
-               warmup: int) -> QueueRunStats:
+               warmup: int, keep_series: bool = False) -> QueueRunStats:
     """Drive n_jobs through a `servers`-capacity FIFO station; measure."""
     if n_jobs <= warmup:
         raise ValidationError("n_jobs must exceed warmup")
@@ -110,11 +122,13 @@ def _run_queue(sim: Simulator, servers: int, arrival_gap: Callable[[], float],
         Wq=wait.mean,
         utilization=station.utilization(t_end),
         W_ci_halfwidth=w_half,
+        W_series=tuple(float(x) for x in wall.samples) if keep_series else (),
     )
 
 
 def simulate_mm1(lam: float, mu: float, n_jobs: int = 20_000,
-                 warmup: int = 2_000, seed: int = 0, obs=None) -> QueueRunStats:
+                 warmup: int = 2_000, seed: int = 0, obs=None,
+                 keep_series: bool = False) -> QueueRunStats:
     """M/M/1 built from kernel primitives.
 
     Pass an :class:`repro.obs.Observation` as *obs* to trace/profile the
@@ -126,11 +140,13 @@ def simulate_mm1(lam: float, mu: float, n_jobs: int = 20_000,
     arr = sim.stream("arrivals")
     svc = sim.stream("service")
     return _run_queue(sim, 1, lambda: arr.exponential(1 / lam),
-                      lambda: svc.exponential(1 / mu), n_jobs, warmup)
+                      lambda: svc.exponential(1 / mu), n_jobs, warmup,
+                      keep_series=keep_series)
 
 
 def simulate_mmc(lam: float, mu: float, c: int, n_jobs: int = 20_000,
-                 warmup: int = 2_000, seed: int = 0, obs=None) -> QueueRunStats:
+                 warmup: int = 2_000, seed: int = 0, obs=None,
+                 keep_series: bool = False) -> QueueRunStats:
     """M/M/c built from kernel primitives."""
     sim = Simulator(seed=seed)
     if obs is not None:
@@ -138,18 +154,20 @@ def simulate_mmc(lam: float, mu: float, c: int, n_jobs: int = 20_000,
     arr = sim.stream("arrivals")
     svc = sim.stream("service")
     return _run_queue(sim, c, lambda: arr.exponential(1 / lam),
-                      lambda: svc.exponential(1 / mu), n_jobs, warmup)
+                      lambda: svc.exponential(1 / mu), n_jobs, warmup,
+                      keep_series=keep_series)
 
 
 def simulate_mg1(lam: float, service: Callable[[], float], n_jobs: int = 20_000,
-                 warmup: int = 2_000, seed: int = 0, obs=None) -> QueueRunStats:
+                 warmup: int = 2_000, seed: int = 0, obs=None,
+                 keep_series: bool = False) -> QueueRunStats:
     """M/G/1 with an arbitrary service-time sampler."""
     sim = Simulator(seed=seed)
     if obs is not None:
         obs.attach(sim, track="mg1")
     arr = sim.stream("arrivals")
     return _run_queue(sim, 1, lambda: arr.exponential(1 / lam),
-                      service, n_jobs, warmup)
+                      service, n_jobs, warmup, keep_series=keep_series)
 
 
 def compare(model: MM1 | MMc | MG1, stats: QueueRunStats) -> ValidationReport:

@@ -1,0 +1,341 @@
+"""Tests for the campaign subsystem: spec, runner, stats, search, CLI."""
+
+import math
+import pickle
+import time
+
+import pytest
+
+from repro.campaign import (
+    Axis,
+    CampaignSpec,
+    RunSpec,
+    coverage_verdict,
+    evaluate_objective,
+    evolve,
+    mser5,
+    parse_space,
+    register_scenario,
+    run_campaign,
+    run_specs,
+    summarize,
+    t_quantile,
+    theory_for,
+)
+from repro.core import ConfigurationError
+
+
+def tiny_mm1_spec(replications=3, grid=None, seed=0):
+    return CampaignSpec("mm1", base={"jobs": 300, "rho": 0.5},
+                        grid=grid or {}, replications=replications,
+                        root_seed=seed)
+
+
+class TestSpec:
+    def test_expansion_order_and_indices(self):
+        spec = CampaignSpec("mm1", base={"jobs": 100},
+                            grid={"rho": [0.3, 0.6], "mu": [1.0, 2.0]},
+                            replications=2, root_seed=1)
+        runs = spec.expand()
+        assert len(runs) == len(spec) == 8
+        assert [r.index for r in runs] == list(range(8))
+        # axis order: rho varies slowest (first axis), mu next, rep fastest
+        assert runs[0].params_dict["rho"] == 0.3
+        assert runs[0].params_dict["mu"] == 1.0
+        assert runs[1].replication == 1
+        assert runs[2].params_dict["mu"] == 2.0
+
+    def test_common_random_numbers_across_points(self):
+        """Replication r gets the same seed at every grid point."""
+        spec = CampaignSpec("mm1", grid={"rho": [0.3, 0.6, 0.9]},
+                            replications=2, root_seed=5)
+        runs = spec.expand()
+        by_rep = {}
+        for r in runs:
+            by_rep.setdefault(r.replication, set()).add(r.seed)
+        assert all(len(seeds) == 1 for seeds in by_rep.values())
+        assert by_rep[0] != by_rep[1]
+
+    def test_expansion_deterministic(self):
+        a = tiny_mm1_spec(grid={"rho": [0.4, 0.8]}).expand()
+        b = tiny_mm1_spec(grid={"rho": [0.4, 0.8]}).expand()
+        assert a == b
+
+    def test_different_root_seed_different_run_seeds(self):
+        a = tiny_mm1_spec(seed=1).expand()
+        b = tiny_mm1_spec(seed=2).expand()
+        assert all(x.seed != y.seed for x, y in zip(a, b))
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CampaignSpec("mm1", grid={"rho": []})
+
+    def test_zero_replications_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CampaignSpec("mm1", replications=0)
+
+
+class TestRunnerDeterminism:
+    def test_serial_two_and_four_workers_identical(self):
+        """The acceptance property: per-seed records are byte-identical
+        under serial, 2-worker, and 4-worker execution — same ordering,
+        same values, regardless of completion order."""
+        spec = tiny_mm1_spec(replications=3, grid={"rho": [0.4, 0.7]})
+        serial = run_campaign(spec, workers=1)
+        two = run_campaign(spec, workers=2)
+        four = run_campaign(spec, workers=4)
+        assert serial.n_ok == len(serial.records) == 6
+        assert serial.metrics_bytes() == two.metrics_bytes()
+        assert serial.metrics_bytes() == four.metrics_bytes()
+        assert [r.index for r in four.records] == list(range(6))
+
+    def test_record_fields_plain_and_picklable(self):
+        result = run_campaign(tiny_mm1_spec(replications=1))
+        rec = result.records[0]
+        clone = pickle.loads(pickle.dumps(rec))
+        assert clone.metrics == rec.metrics
+        assert clone.telemetry == rec.telemetry
+        for v in rec.metrics.values():
+            assert type(v) in (int, float)
+
+    def test_telemetry_reported_but_not_canonical(self):
+        result = run_campaign(tiny_mm1_spec(replications=1))
+        rec = result.records[0]
+        assert rec.telemetry.get("events", 0) > 0
+        assert "telemetry" not in rec.canonical()
+        assert "wall_seconds" not in rec.canonical()
+
+
+class TestRunnerFailurePaths:
+    def test_failed_scenario_retried_then_reported(self):
+        @register_scenario("always-boom")
+        def boom(params, seed):
+            raise RuntimeError("boom")
+
+        spec = CampaignSpec("always-boom", replications=2, root_seed=0)
+        result = run_campaign(spec, workers=2, retries=1)
+        assert [r.status for r in result.records] == ["failed", "failed"]
+        assert all(r.attempts == 2 for r in result.records)
+        assert result.retries_used == 2
+        assert "boom" in result.records[0].error
+
+    def test_serial_failure_keeps_other_runs(self):
+        @register_scenario("fail-on-flag")
+        def fail_on_flag(params, seed):
+            if params.get("flag"):
+                raise ValueError("flagged")
+            return ({"v": float(seed % 97)}, {})
+
+        spec = CampaignSpec("fail-on-flag", grid={"flag": [0, 1, 0]},
+                            replications=1, root_seed=3)
+        result = run_campaign(spec, workers=1)
+        assert [r.status for r in result.records] == ["ok", "failed", "ok"]
+        assert result.n_ok == 2
+
+    def test_timeout_kills_and_records(self):
+        @register_scenario("hang-on-flag")
+        def hang_on_flag(params, seed):
+            if params.get("flag"):
+                time.sleep(60)
+            return ({"v": 1.0}, {})
+
+        spec = CampaignSpec("hang-on-flag", grid={"flag": [0, 1]},
+                            replications=1, root_seed=0)
+        t0 = time.perf_counter()
+        result = run_campaign(spec, workers=2, timeout=0.5, retries=0)
+        wall = time.perf_counter() - t0
+        statuses = {r.params_dict["flag"]: r.status for r in result.records}
+        assert statuses == {0: "ok", 1: "timeout"}
+        assert result.timeouts == 1
+        assert wall < 30.0  # killed, not joined for the full sleep
+
+    def test_unknown_scenario_fails_cleanly(self):
+        result = run_campaign(CampaignSpec("no-such-scenario"), workers=1)
+        assert result.records[0].status == "failed"
+        assert "unknown scenario" in result.records[0].error
+
+    def test_bad_retries_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_specs([], retries=-1)
+
+
+class TestStats:
+    def test_t_interval_matches_scipy(self):
+        from scipy import stats as sps
+
+        class Rec:
+            status = "ok"
+
+            def __init__(self, v):
+                self.metrics = {"m": v}
+
+        values = [1.0, 2.0, 4.0, 3.0, 2.5]
+        summ = summarize([Rec(v) for v in values], ["m"], level=0.95)["m"]
+        ref_mean, ref_var = 2.5, sum((v - 2.5) ** 2 for v in values) / 4
+        assert summ.n == 5
+        assert summ.mean == pytest.approx(ref_mean)
+        assert summ.variance == pytest.approx(ref_var)
+        t = sps.t.ppf(0.975, 4)
+        assert summ.halfwidth == pytest.approx(t * math.sqrt(ref_var / 5))
+        assert summ.contains(2.5) and not summ.contains(100.0)
+
+    def test_single_run_has_infinite_interval(self):
+        class Rec:
+            status = "ok"
+            metrics = {"m": 1.0}
+
+        summ = summarize([Rec()], ["m"])["m"]
+        assert summ.n == 1 and math.isinf(summ.halfwidth)
+        assert summ.contains(1e9)
+
+    def test_failed_runs_excluded(self):
+        class Rec:
+            def __init__(self, status, v):
+                self.status = status
+                self.metrics = {"m": v}
+
+        summ = summarize([Rec("ok", 1.0), Rec("failed", 99.0),
+                          Rec("ok", 3.0)], ["m"])["m"]
+        assert summ.n == 2 and summ.mean == pytest.approx(2.0)
+
+    def test_mser5_cuts_warmup_bias(self):
+        # A strong initial transient then flat steady state: the cut must
+        # remove (at least most of) the transient and nothing like the
+        # whole series.
+        series = [100.0 - i for i in range(50)] + [50.0] * 450
+        cut = mser5(series)
+        assert 20 <= cut <= 60
+        # An already-stationary series needs (almost) no truncation.
+        flat = [10.0, 10.5] * 250
+        assert mser5(flat) <= 10
+
+    def test_mser5_short_series_uncut(self):
+        assert mser5([1.0, 2.0, 3.0]) == 0
+
+    def test_quantile_validates(self):
+        with pytest.raises(ConfigurationError):
+            t_quantile(0.975, 0)
+
+    def test_coverage_verdict_mm1(self):
+        spec = tiny_mm1_spec(replications=4)
+        result = run_campaign(spec, workers=1)
+        summaries = result.summaries(["W", "L"], level=0.99)
+        theory = theory_for("mm1", {"rho": 0.5})
+        verdict = coverage_verdict(summaries, theory)
+        assert set(verdict) == {"W", "L"}
+        assert verdict["W"]["theory"] == pytest.approx(2.0)
+        assert {"lo", "hi", "contains", "mean", "n"} <= set(verdict["W"])
+
+
+class TestMSER5Scenario:
+    def test_mm1_mser5_warmup_mode(self):
+        from repro.campaign import run_scenario
+
+        metrics, _ = run_scenario(
+            "mm1", {"rho": 0.5, "jobs": 600, "warmup": "mser5"}, seed=2)
+        assert "mser5_cut" in metrics and "W_raw" in metrics
+        assert metrics["mser5_cut"] % 5 == 0
+        assert metrics["W"] > 0
+
+
+class TestSearch:
+    AXES = [Axis("x", lo=-8.0, hi=8.0)]
+
+    def run_search(self, seed=3):
+        return evolve("quadratic", self.AXES, "y", mode="min",
+                      population=10, generations=6, replications=3,
+                      base={"noise": 0.05, "target": 3.0}, root_seed=seed)
+
+    def test_converges_near_optimum(self):
+        res = self.run_search()
+        assert abs(res.best_genome["x"] - 3.0) < 1.5
+        assert res.best_fitness < 2.0
+
+    def test_deterministic_given_seed(self):
+        a, b = self.run_search(), self.run_search()
+        assert a.best_genome == b.best_genome
+        assert a.history == b.history
+        assert a.evaluations == b.evaluations
+
+    def test_history_monotone_best(self):
+        res = self.run_search()
+        bests = [h["best_fitness"] for h in res.history]
+        assert all(b2 <= b1 + 1e-12 for b1, b2 in zip(bests, bests[1:]))
+
+    def test_categorical_axis_and_provision(self):
+        """The provisioning study: search must discover that pooling
+        beats splitting (queueing theory) under a per-server cost."""
+        res = evolve("provision",
+                     [Axis("servers", lo=2, hi=8, integer=True),
+                      Axis("policy", choices=("pooled", "split"))],
+                     "W + 0.15 * servers", mode="min",
+                     population=6, generations=3, replications=2,
+                     base={"lam": 3.0, "jobs": 800}, root_seed=5)
+        assert res.best_genome["policy"] == "pooled"
+        assert 4 <= res.best_genome["servers"] <= 8
+
+    def test_objective_expression_guarded(self):
+        assert evaluate_objective("W + 0.5 * c", {"W": 2.0, "c": 4}) == 4.0
+        with pytest.raises(ConfigurationError):
+            evaluate_objective("__import__('os')", {"W": 1.0})
+        with pytest.raises(ConfigurationError):
+            evaluate_objective("missing_metric", {"W": 1.0})
+
+    def test_parse_space(self):
+        axes = parse_space(["c=1:8:int", "rho=0.1:0.9", "pol=a,b,c"])
+        assert axes[0].integer and axes[0].lo == 1 and axes[0].hi == 8
+        assert not axes[1].integer
+        assert axes[2].choices == ("a", "b", "c")
+        with pytest.raises(ConfigurationError):
+            parse_space(["bogus"])
+
+    def test_bad_mode_rejected(self):
+        with pytest.raises(ConfigurationError):
+            evolve("quadratic", self.AXES, "y", mode="sideways")
+
+
+class TestCampaignCLI:
+    def test_campaign_table(self, capsys):
+        from repro.cli import main
+
+        assert main(["campaign", "--scenario", "mm1", "--grid", "rho=0.5",
+                     "--set", "jobs=400", "--runs", "3",
+                     "--metrics", "W,L"]) == 0
+        out = capsys.readouterr().out
+        assert "point 0" in out and "theory" in out and "ok" in out
+
+    def test_campaign_parallel_matches_serial_output(self, capsys):
+        from repro.cli import main
+
+        args = ["campaign", "--scenario", "mm1", "--grid", "rho=0.5",
+                "--set", "jobs=300", "--runs", "2", "--metrics", "W"]
+        assert main(args) == 0
+        serial_out = capsys.readouterr().out
+        assert main(args + ["--workers", "2"]) == 0
+        par_out = capsys.readouterr().out
+        # Everything but the wall-clock/worker header line must agree.
+        assert serial_out.splitlines()[1:] == par_out.splitlines()[1:]
+
+    def test_campaign_evolve_cli(self, capsys):
+        from repro.cli import main
+
+        assert main(["campaign", "--scenario", "quadratic", "--evolve",
+                     "--space", "x=-5:5", "--objective", "y",
+                     "--set", "noise=0.05", "--runs", "2",
+                     "--population", "6", "--generations", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "best fitness" in out and "x =" in out
+
+    def test_evolve_requires_space(self, capsys):
+        from repro.cli import main
+
+        assert main(["campaign", "--evolve"]) == 2
+
+    def test_validate_ensemble_verdict(self, capsys):
+        from repro.cli import main
+
+        assert main(["validate", "--rho", "0.6", "--jobs", "8000",
+                     "--runs", "4", "--workers", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "ensemble: 4/4 runs ok" in out
+        assert "CI verdict: theory inside every interval" in out

@@ -454,3 +454,44 @@ class TestEngineIntegration:
         tracer = Tracer()
         assert len(tracer) == 0 and list(tracer) == []
         assert chrome_trace(tracer)["traceEvents"]  # metadata only, still valid
+
+
+class TestPicklableSnapshots:
+    """Campaign workers ship telemetry across process boundaries: every
+    snapshot/summary must survive a pickle round-trip and contain only
+    builtin scalar types."""
+
+    def test_telemetry_snapshot_round_trips(self):
+        import pickle
+
+        obs, sim = _observed_sim(trace=False, profile=False)
+        for i in range(20):
+            sim.schedule(float(i), lambda: None)
+        sim.run()
+        snap = obs.telemetry.snapshot(sim)
+        clone = pickle.loads(pickle.dumps(snap))
+        assert clone == snap
+        for key, value in snap.items():
+            assert type(key) is str
+            assert type(value) in (int, float, str, type(None)), (key, value)
+        json.dumps(snap)  # and JSON-safe, for canonical records
+
+    def test_monitor_summary_round_trips(self):
+        import pickle
+
+        from repro.core import Monitor
+
+        mon = Monitor()
+        for v in (1.0, 3.0, 0.5):
+            mon.tally("wait").record(v)
+        lv = mon.level("queue")
+        lv.set(1.0, 2.0)
+        lv.set(4.0, 0.0)
+        mon.counter("served").increment(5.0)
+        summary = mon.summary(t_end=10.0)
+        clone = pickle.loads(pickle.dumps(summary))
+        assert clone == summary
+        for group in summary.values():
+            for key, value in group.items():
+                assert type(value) in (int, float), (key, value)
+        json.dumps(summary)

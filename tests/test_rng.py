@@ -190,3 +190,41 @@ def test_exponential_is_memoryless_shape():
     xs = np.array([s.exponential(m) for _ in range(20000)])
     frac = (xs > 2 * m).mean()
     assert abs(frac - math.exp(-2)) < 0.02
+
+
+class TestSpawn:
+    def test_spawn_deterministic(self):
+        a = StreamFactory(11).spawn("rep:0").stream("arrivals")
+        b = StreamFactory(11).spawn("rep:0").stream("arrivals")
+        assert [a.uniform() for _ in range(10)] == [b.uniform() for _ in range(10)]
+
+    def test_different_spawn_keys_share_no_leading_values(self):
+        """Children spawned under different keys must be independent:
+        the leading draws of every stream are pairwise disjoint."""
+        parent = StreamFactory(42)
+        children = [parent.spawn(f"rep:{r}") for r in range(8)]
+        leads = [
+            tuple(child.stream("svc").uniform() for _ in range(32))
+            for child in children
+        ]
+        flat = [v for lead in leads for v in lead]
+        assert len(set(flat)) == len(flat), "spawned streams overlap"
+
+    def test_child_differs_from_parent(self):
+        parent = StreamFactory(7)
+        child = parent.spawn("rep:0")
+        px = [parent.stream("x").uniform() for _ in range(16)]
+        cx = [child.stream("x").uniform() for _ in range(16)]
+        assert not set(px) & set(cx)
+
+    def test_spawn_int_and_str_keys_distinct_namespaces(self):
+        parent = StreamFactory(3)
+        a = parent.spawn(0).stream("s").uniform()
+        b = parent.spawn("0").stream("s").uniform()
+        # int keys are stringified: same key text, same child
+        assert a == b
+
+    def test_spawn_key_recorded(self):
+        child = StreamFactory(1).spawn("gen:4")
+        assert child.spawn_key == "gen:4"
+        assert "gen:4" in repr(child)
