@@ -9,26 +9,35 @@ campaign needs three things Pool does not give cleanly:
 * **per-run timeout + retry** — a hung run is killed (its worker is
   terminated and respawned) and retried up to ``retries`` times, without
   poisoning the rest of the campaign;
-* **chunked dispatch with backpressure** — at most ``workers × chunksize``
-  runs are enqueued ahead, so a million-cell matrix never materializes in
-  the task queue;
+* **bounded dispatch with backpressure** — at most ``chunksize`` runs are
+  queued ahead per worker, so a million-cell matrix never materializes in
+  the pipes;
 * **deterministic results** — records are reassembled by run index, so the
   output is byte-identical whatever order workers finish in (and identical
   to a serial run, since every run's RNG seed is baked into its
   :class:`~repro.campaign.spec.RunSpec` before dispatch).
 
-Worker protocol (all messages are tuples of picklable builtins)::
+Every worker owns a private pair of pipes (parent→worker tasks,
+worker→parent results) — there is no shared queue.  That isolation is
+what makes ``terminate()`` safe: a worker killed mid-message can only
+corrupt its own pipes, which the parent discards with it, never a lock
+or buffer other workers depend on.  Worker protocol (all messages are
+tuples of picklable builtins)::
 
-    parent -> tasks  : (index, scenario, params, point, rep, seed, attempt)
-    parent -> tasks  : None                          # shutdown sentinel
-    worker -> results: ("start", worker_id, index, attempt)
-    worker -> results: ("done",  worker_id, index, attempt, record_dict)
+    parent -> worker : (index, scenario, params, point, rep, seed, attempt)
+    parent -> worker : None                          # shutdown sentinel
+    worker -> parent : ("start", index, attempt)
+    worker -> parent : ("done",  index, attempt, record)
 
-The parent clocks a run from its ``start`` message; a run that exceeds
-``timeout`` wall seconds gets its worker terminated (the worker is mid-
-scenario, not holding a queue lock) and a fresh worker spawned in its
-place.  Stale ``done`` messages from a terminated attempt are dropped by
-matching on ``(index, attempt)``.
+The parent remembers, in dispatch order, every task it sent to each
+worker, so nothing is ever lost: a run that exceeds ``timeout`` wall
+seconds (clocked from its ``start`` message) gets its worker terminated
+and is retried or recorded as ``timeout``; tasks queued behind it that
+never started are re-dispatched without consuming an attempt; a worker
+that dies silently — even before sending ``start`` — is detected by the
+liveness sweep and its in-flight task retried.  Before terminating a
+timed-out worker the parent drains that worker's result pipe once more,
+so a run completing at the last instant is recorded, not killed.
 """
 
 from __future__ import annotations
@@ -37,8 +46,8 @@ import json
 import multiprocessing as mp
 import traceback
 from collections import deque
-from queue import Empty
 from dataclasses import dataclass, field
+from multiprocessing.connection import wait as _wait_ready
 from time import perf_counter
 from typing import Any, Callable, Sequence
 
@@ -106,15 +115,30 @@ def _execute(task: tuple, worker: int) -> RunRecord:
     return rec
 
 
-def _worker_main(worker_id: int, tasks, results) -> None:  # pragma: no cover
+def _worker_main(worker_id: int, task_r, res_w) -> None:  # pragma: no cover
     # Covered via subprocesses; coverage tooling does not see this frame.
     while True:
-        task = tasks.get()
+        try:
+            task = task_r.recv()
+        except EOFError:
+            break
         if task is None:
             break
-        results.put(("start", worker_id, task[0], task[6]))
+        res_w.send(("start", task[0], task[6]))
         rec = _execute(task, worker_id)
-        results.put(("done", worker_id, task[0], task[6], rec))
+        res_w.send(("done", task[0], task[6], rec))
+
+
+@dataclass
+class _Worker:
+    """Parent-side view of one worker process and its private pipes."""
+
+    proc: Any
+    task_w: Any                 #: send end of the parent→worker task pipe
+    res_r: Any                  #: recv end of the worker→parent result pipe
+    #: dispatched-but-unfinished ``[index, attempt, started]`` entries in
+    #: send order; ``started`` is None until the ``start`` message arrives.
+    queue: deque = field(default_factory=deque)
 
 
 @dataclass
@@ -181,7 +205,8 @@ def run_specs(runs: Sequence[RunSpec], workers: int = 1,
     that is both the speedup baseline and the determinism reference.
     Per-run ``timeout`` applies only under the pool (a serial run cannot
     be preempted); ``retries`` is the number of *extra* attempts granted
-    to a run that failed, timed out, or lost its worker.
+    to a run that failed, timed out, or lost its worker; ``chunksize``
+    bounds how many runs may be queued ahead at each worker.
     """
     if retries < 0:
         raise ConfigurationError(f"retries must be >= 0, got {retries}")
@@ -206,23 +231,26 @@ def _run_pool(runs: Sequence[RunSpec], workers: int, timeout: float | None,
         mp_context = "fork" if "fork" in mp.get_all_start_methods() else "spawn"
     ctx = mp.get_context(mp_context)
     workers = min(workers, len(runs))
-    window = workers * (chunksize if chunksize else
-                        max(2, min(32, len(runs) // workers or 1)))
+    depth = (chunksize if chunksize else
+             max(2, min(32, len(runs) // workers or 1)))
 
-    tasks = ctx.Queue()
-    results = ctx.Queue()
-    pool: dict[int, Any] = {}
-    running: dict[int, tuple[int, int, float]] = {}  # wid -> (idx, att, t)
+    pool: dict[int, _Worker] = {}
     next_wid = 0
 
     def spawn_worker() -> None:
         nonlocal next_wid
         wid = next_wid
         next_wid += 1
-        proc = ctx.Process(target=_worker_main, args=(wid, tasks, results),
+        task_r, task_w = ctx.Pipe(duplex=False)
+        res_r, res_w = ctx.Pipe(duplex=False)
+        proc = ctx.Process(target=_worker_main, args=(wid, task_r, res_w),
                            daemon=True, name=f"campaign-w{wid}")
         proc.start()
-        pool[wid] = proc
+        # Close the worker-side ends in the parent so the worker's death
+        # is the only thing keeping them open (recv then raises EOFError).
+        task_r.close()
+        res_w.close()
+        pool[wid] = _Worker(proc, task_w, res_r)
 
     pending = deque(_task_tuple(s, 1) for s in runs)
     attempts = {s.index: 1 for s in runs}
@@ -230,12 +258,35 @@ def _run_pool(runs: Sequence[RunSpec], workers: int, timeout: float | None,
     by_index = {s.index: s for s in runs}
     timeouts = 0
     retries_used = 0
-    in_flight = [0]  # enqueued-but-unfinished runs (the dispatch window)
+    reported = [0]  # len(done) at the last progress emission
+
+    def emit_progress() -> None:
+        # Only on a newly added record — a retry does not grow done, and
+        # re-announcing the same count would duplicate lines.
+        if (progress is not None and len(done) != reported[0]
+                and len(done) % 25 == 0):
+            reported[0] = len(done)
+            progress(f"[campaign] {len(done)}/{len(runs)} runs "
+                     f"done ({timeouts} timeouts)")
 
     def dispatch() -> None:
-        while pending and in_flight[0] < window:
-            tasks.put(pending.popleft())
-            in_flight[0] += 1
+        while pending:
+            sent = False
+            for w in sorted(pool.values(), key=lambda w: len(w.queue)):
+                if not pending:
+                    break
+                if not w.proc.is_alive() or len(w.queue) >= depth:
+                    continue
+                task = pending[0]
+                try:
+                    w.task_w.send(task)
+                except OSError:
+                    continue  # dying worker; the liveness sweep reconciles it
+                pending.popleft()
+                w.queue.append([task[0], task[6], None])
+                sent = True
+            if not sent:
+                return
 
     def give_up(idx: int, status: str, err: str) -> None:
         s = by_index[idx]
@@ -243,6 +294,7 @@ def _run_pool(runs: Sequence[RunSpec], workers: int, timeout: float | None,
                               point=s.point, replication=s.replication,
                               seed=s.seed, status=status,
                               attempts=attempts[idx], error=err)
+        emit_progress()
 
     def reap_or_retry(idx: int, status: str, err: str) -> None:
         nonlocal retries_used
@@ -250,73 +302,117 @@ def _run_pool(runs: Sequence[RunSpec], workers: int, timeout: float | None,
             attempts[idx] += 1
             retries_used += 1
             pending.append(_task_tuple(by_index[idx], attempts[idx]))
-            in_flight[0] -= 1
-            dispatch()
         else:
-            in_flight[0] -= 1
             give_up(idx, status, err)
+        # Unconditional: a terminal give-up frees a dispatch slot exactly
+        # like a completion does — without this refill, a campaign whose
+        # window filled with given-up runs would stall forever.
+        dispatch()
+
+    def handle(w: _Worker, msg: tuple) -> None:
+        kind, idx, att = msg[0], msg[1], msg[2]
+        head = w.queue[0] if w.queue else None
+        if head is None or head[0] != idx or head[1] != att:
+            return  # defensive: messages are FIFO per worker, so the
+            # head is always the run in progress; anything else is stale
+        if kind == "start":
+            head[2] = perf_counter()
+        elif kind == "done":
+            w.queue.popleft()
+            rec = msg[3]
+            if rec.status == "failed" and attempts[idx] <= retries:
+                reap_or_retry(idx, "failed", rec.error or "")
+            else:
+                done[idx] = rec
+                emit_progress()
+                dispatch()
+
+    def drain(w: _Worker) -> None:
+        """Process every result already in *w*'s pipe without blocking."""
+        while True:
+            try:
+                if not w.res_r.poll():
+                    return
+                msg = w.res_r.recv()
+            except (EOFError, OSError):
+                return  # dead worker / partial message; sweeps reconcile
+            handle(w, msg)
+
+    def retire(wid: int) -> None:
+        """Drop a worker's pipes and re-dispatch its unstarted backlog.
+
+        Tasks queued behind the head never ran, so they go back to the
+        *front* of pending with their attempt count untouched; the head
+        (if any) is the caller's to reap or retry.
+        """
+        w = pool.pop(wid)
+        for conn in (w.task_w, w.res_r):
+            try:
+                conn.close()
+            except OSError:
+                pass
+        backlog = list(w.queue)[1:]
+        for idx, att, _ in reversed(backlog):
+            pending.appendleft(_task_tuple(by_index[idx], att))
 
     try:
         for _ in range(workers):
             spawn_worker()
         dispatch()
         while len(done) < len(runs):
-            try:
-                msg = results.get(timeout=0.05)
-            except Empty:  # no result yet — poll timers and worker liveness
-                msg = None
-            if msg is not None:
-                kind, wid, idx, att = msg[0], msg[1], msg[2], msg[3]
-                if att != attempts.get(idx) or idx in done:
-                    continue  # stale message from a superseded attempt
-                if kind == "start":
-                    running[wid] = (idx, att, perf_counter())
-                elif kind == "done":
-                    running.pop(wid, None)
-                    rec = msg[4]
-                    if rec.status == "failed" and attempts[idx] <= retries:
-                        reap_or_retry(idx, "failed", rec.error or "")
-                    else:
-                        in_flight[0] -= 1
-                        done[idx] = rec
-                        dispatch()
-                    if progress is not None and len(done) % 25 == 0:
-                        progress(f"[campaign] {len(done)}/{len(runs)} runs "
-                                 f"done ({timeouts} timeouts)")
-                continue
+            conns = {w.res_r: w for w in pool.values()}
+            for conn in _wait_ready(list(conns), timeout=0.05):
+                drain(conns[conn])
             now = perf_counter()
             if timeout is not None:
-                for wid, (idx, att, started) in list(running.items()):
-                    if now - started > timeout:
-                        timeouts += 1
-                        proc = pool.pop(wid)
-                        proc.terminate()
-                        proc.join(timeout=5.0)
-                        running.pop(wid, None)
-                        spawn_worker()
-                        reap_or_retry(idx, "timeout",
-                                      f"run exceeded {timeout}s wall timeout")
-            for wid, proc in list(pool.items()):
-                if not proc.is_alive():
-                    pool.pop(wid)
-                    crashed = running.pop(wid, None)
+                for wid, w in list(pool.items()):
+                    head = w.queue[0] if w.queue else None
+                    if (head is None or head[2] is None
+                            or now - head[2] <= timeout):
+                        continue
+                    # Close the completed-at-the-last-instant race: a
+                    # 'done' already in the pipe beats the kill.
+                    drain(w)
+                    if not w.queue or w.queue[0] is not head:
+                        continue
+                    timeouts += 1
+                    w.proc.terminate()
+                    w.proc.join(timeout=5.0)
+                    retire(wid)
                     spawn_worker()
-                    if crashed is not None:
-                        idx = crashed[0]
-                        reap_or_retry(idx, "failed",
-                                      f"worker died (exitcode "
-                                      f"{proc.exitcode})")
+                    reap_or_retry(head[0], "timeout",
+                                  f"run exceeded {timeout}s wall timeout")
+            for wid, w in list(pool.items()):
+                if w.proc.is_alive():
+                    continue
+                drain(w)  # results sent before the crash still count
+                exitcode = w.proc.exitcode
+                head = w.queue[0] if w.queue else None
+                retire(wid)
+                spawn_worker()
+                if head is not None:
+                    reap_or_retry(head[0], "failed",
+                                  f"worker died (exitcode {exitcode})")
+                else:
+                    dispatch()
     finally:
-        for _ in pool:
-            tasks.put(None)
+        for w in pool.values():
+            try:
+                w.task_w.send(None)
+            except OSError:
+                pass
         deadline = perf_counter() + 5.0
-        for proc in pool.values():
-            proc.join(timeout=max(0.0, deadline - perf_counter()))
-        for proc in pool.values():
-            if proc.is_alive():
-                proc.terminate()
-        tasks.close()
-        results.close()
+        for w in pool.values():
+            w.proc.join(timeout=max(0.0, deadline - perf_counter()))
+        for w in pool.values():
+            if w.proc.is_alive():
+                w.proc.terminate()
+        for w in pool.values():
+            for conn in (w.task_w, w.res_r):
+                try:
+                    conn.close()
+                except OSError:
+                    pass
 
     records = [done[s.index] for s in runs]
     return CampaignResult(records=records, workers=workers,

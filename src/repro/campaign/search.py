@@ -96,16 +96,16 @@ class Axis:
 
     @classmethod
     def parse(cls, name: str, text: str) -> "Axis":
-        """Parse ``lo:hi`` (float), ``lo:hi:int``, or ``a,b,c`` choices."""
+        """Parse ``lo:hi`` (always a continuous float axis), ``lo:hi:int``
+        (integer axis — the suffix is required, whole-number bounds alone
+        never imply one), or ``a,b,c`` categorical choices."""
         if ":" in text:
             parts = text.split(":")
             if len(parts) == 3 and parts[2] == "int":
                 return cls(name, lo=float(parts[0]), hi=float(parts[1]),
                            integer=True)
             if len(parts) == 2:
-                lo, hi = float(parts[0]), float(parts[1])
-                integer = all(float(p) == int(float(p)) for p in parts)
-                return cls(name, lo=lo, hi=hi, integer=integer)
+                return cls(name, lo=float(parts[0]), hi=float(parts[1]))
             raise ConfigurationError(f"cannot parse axis {name}={text!r}")
         return cls(name, choices=tuple(_coerce(v) for v in text.split(",")))
 

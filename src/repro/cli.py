@@ -167,7 +167,8 @@ def build_parser() -> argparse.ArgumentParser:
                       help="evolutionary search instead of a grid sweep")
     p_cp.add_argument("--space", action="append", default=[],
                       metavar="NAME=LO:HI[:int]|A,B,C",
-                      help="search axis for --evolve (repeatable)")
+                      help="search axis for --evolve (repeatable); LO:HI is "
+                           "a float range unless the :int suffix is given")
     p_cp.add_argument("--objective", default="W",
                       help="metric expression to optimize, e.g. "
                            "'W + 0.15 * servers'")

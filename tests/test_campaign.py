@@ -1,6 +1,7 @@
 """Tests for the campaign subsystem: spec, runner, stats, search, CLI."""
 
 import math
+import os
 import pickle
 import time
 
@@ -149,6 +150,55 @@ class TestRunnerFailurePaths:
         assert result.timeouts == 1
         assert wall < 30.0  # killed, not joined for the full sleep
 
+    def test_all_runs_timeout_without_retries_still_finishes(self):
+        """Regression: a terminal give-up must refill the dispatch window
+        exactly like a completion.  With chunksize=1 and every run
+        hanging, the runner used to deadlock once the first window's
+        runs were given up — no 'done' ever arrived to trigger dispatch."""
+        @register_scenario("hang-always")
+        def hang_always(params, seed):
+            time.sleep(60)
+
+        spec = CampaignSpec("hang-always", replications=4, root_seed=0)
+        t0 = time.perf_counter()
+        result = run_campaign(spec, workers=2, timeout=0.3, retries=0,
+                              chunksize=1)
+        wall = time.perf_counter() - t0
+        assert [r.status for r in result.records] == ["timeout"] * 4
+        assert result.timeouts == 4
+        assert wall < 30.0
+
+    def test_dead_worker_run_retried_then_reported(self):
+        """A worker that dies mid-run (no 'done' ever sent) must not hang
+        the campaign: the run is retried, then recorded as failed."""
+        @register_scenario("die-on-flag")
+        def die_on_flag(params, seed):
+            if params.get("flag"):
+                os._exit(3)
+            return ({"v": 1.0}, {})
+
+        spec = CampaignSpec("die-on-flag", grid={"flag": [0, 1, 0]},
+                            replications=1, root_seed=0)
+        result = run_campaign(spec, workers=2, retries=1, chunksize=1)
+        assert [r.status for r in result.records] == ["ok", "failed", "ok"]
+        assert result.n_ok == 2
+        failed = result.records[1]
+        assert failed.attempts == 2
+        assert "worker died" in failed.error
+
+    def test_progress_only_on_new_records(self):
+        """Regression: the progress callback used to fire on every retried
+        failure too, printing duplicate '0/N runs done' lines before any
+        record existed."""
+        @register_scenario("boom-fast")
+        def boom_fast(params, seed):
+            raise RuntimeError("boom")
+
+        spec = CampaignSpec("boom-fast", replications=25, root_seed=0)
+        messages = []
+        run_campaign(spec, workers=2, retries=1, progress=messages.append)
+        assert messages == ["[campaign] 25/25 runs done (0 timeouts)"]
+
     def test_unknown_scenario_fails_cleanly(self):
         result = run_campaign(CampaignSpec("no-such-scenario"), workers=1)
         assert result.records[0].status == "failed"
@@ -288,6 +338,13 @@ class TestSearch:
         assert axes[2].choices == ("a", "b", "c")
         with pytest.raises(ConfigurationError):
             parse_space(["bogus"])
+
+    def test_range_with_whole_number_bounds_stays_float(self):
+        """Regression: '1:4' used to be silently promoted to an integer
+        axis; only the explicit ':int' suffix may discretize a range."""
+        ax = Axis.parse("x", "1:4")
+        assert not ax.integer
+        assert ax.lo == 1.0 and ax.hi == 4.0
 
     def test_bad_mode_rejected(self):
         with pytest.raises(ConfigurationError):
