@@ -21,8 +21,10 @@ comparison from ``bench_flow_sharing.py``, merged as ``e8_flow_sharing``),
 ``e9`` (the million-entity adaptive-queue scenario from
 ``bench_e9_million.py``, merged as ``e9_million_entity``), ``e10`` (the
 campaign process-pool fan-out from ``bench_e10_campaign.py``, merged as
-``e10_campaign``), or ``all``.  A partial refresh merges into the existing
-baseline file instead of overwriting the other sections.
+``e10_campaign``), ``e11`` (the fleet-observability overhead sweep from
+``bench_e11_obs_fleet.py``, merged as ``e11_obs_fleet``), or ``all``.  A
+partial refresh merges into the existing baseline file instead of
+overwriting the other sections.
 """
 
 from __future__ import annotations
@@ -44,6 +46,7 @@ for p in (str(_HERE), str(_ROOT / "src")):
 from bench_e7_committed import collect_e7  # noqa: E402
 from bench_e9_million import collect_e9  # noqa: E402
 from bench_e10_campaign import collect_e10  # noqa: E402
+from bench_e11_obs_fleet import E11_BUDGETS_PCT, collect_e11  # noqa: E402
 from bench_flow_sharing import collect_e8  # noqa: E402
 from bench_kernel_hotpath import collect_baseline  # noqa: E402
 
@@ -83,7 +86,8 @@ def main(argv: list[str] | None = None) -> int:
     ap.add_argument("--smoke", action="store_true",
                     help="tiny workloads, no speedup floor (CI smoke)")
     ap.add_argument("--section",
-                    choices=("all", "kernel", "e7", "e8", "e9", "e10"),
+                    choices=("all", "kernel", "e7", "e8", "e9", "e10",
+                             "e11"),
                     default="all",
                     help="which baseline section(s) to refresh; partial "
                          "refreshes merge into the existing file")
@@ -93,7 +97,7 @@ def main(argv: list[str] | None = None) -> int:
     scale = 0.02 if args.smoke else args.scale
 
     t0 = time.time()
-    if args.section in ("e7", "e8", "e9", "e10") and args.out.exists():
+    if args.section in ("e7", "e8", "e9", "e10", "e11") and args.out.exists():
         baseline = json.loads(args.out.read_text())
     elif args.section in ("all", "kernel"):
         kernel = collect_baseline(repeats=repeats, scale=scale)
@@ -130,6 +134,9 @@ def main(argv: list[str] | None = None) -> int:
             runs=max(10, int(100 * e10_scale)),
             jobs=max(500, int(3_000 * e10_scale)),
             repeats=repeats)
+
+    if args.section in ("all", "e11"):
+        baseline["e11_obs_fleet"] = collect_e11(repeats=repeats, scale=scale)
 
     baseline["created"] = time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime())
     baseline["python"] = platform.python_version()
@@ -214,6 +221,37 @@ def main(argv: list[str] | None = None) -> int:
         print(f"campaign: {e10['runs']} x M/M/1({e10['rho']}) "
               f"{e10['jobs_per_run']} jobs, {e10['cpu_count']} cpu(s); "
               f"byte-identical records: {e10['all_identical']}")
+
+    if "e11_obs_fleet" in baseline:
+        e11 = baseline["e11_obs_fleet"]
+        hdr = f"{'mode':<10} {'ev/s':>12} {'overhead':>9} {'budget':>8}"
+        print(hdr)
+        print("-" * len(hdr))
+        for mode, row in e11["results"].items():
+            over = e11["overhead_pct"].get(mode)
+            budget = e11["budgets_pct"].get(mode)
+            print(f"{mode:<10} {row['eps']:>12,.0f} "
+                  f"{'-' if over is None else f'{over:+.2f}%':>9} "
+                  f"{'-' if budget is None else f'<={budget:.0f}%':>8}")
+        print(f"metric counters consistent: {e11['counters_consistent']}")
+
+    if args.section in ("all", "e11") and "e11_obs_fleet" in baseline:
+        e11 = baseline["e11_obs_fleet"]
+        if not e11["counters_consistent"]:
+            print("FAIL: metric instruments disagree with the engine's "
+                  "fired-event count — the fleet rates are fiction",
+                  file=sys.stderr)
+            return 1
+        if not args.smoke:
+            for mode, budget in E11_BUDGETS_PCT.items():
+                if budget is None:
+                    continue
+                over = e11["overhead_pct"][mode]
+                if over > budget:
+                    print(f"FAIL: e11 {mode} observability overhead "
+                          f"{over:+.2f}% exceeds the {budget}% budget — "
+                          f"the metrics hot path regressed", file=sys.stderr)
+                    return 1
 
     if args.section in ("all", "e10") and "e10_campaign" in baseline:
         e10 = baseline["e10_campaign"]

@@ -15,6 +15,9 @@ turns one scenario into a campaign:
 * **stats** (:mod:`repro.campaign.stats`) — cross-run means, variances,
   Student-t confidence intervals, MSER-5 warm-up truncation, and
   CI-contains-theory verdicts feeding :mod:`repro.validation`;
+* **telemetry** (:mod:`repro.campaign.telemetry`) — fleet rollups of the
+  per-run observability every record ships home: per-worker and per-point
+  rates, merged metrics registries, slowest runs, incident counters;
 * **search** (:mod:`repro.campaign.search`) — an evolutionary loop
   (tournament selection + crossover + mutation) over scenario parameters,
   scored by a metric expression.
@@ -22,18 +25,26 @@ turns one scenario into a campaign:
 Surface: ``python -m repro campaign`` and ``repro validate --runs N``.
 """
 
-from .scenarios import SCENARIOS, register_scenario, run_scenario, theory_for
+from .scenarios import (SCENARIOS, clear_run_observation,
+                        configure_run_observation, register_scenario,
+                        run_scenario, theory_for)
 from .search import (Axis, EvolutionResult, evaluate_objective, evolve,
                      parse_space)
-from .spec import CampaignSpec, RunSpec, point_key
+from .spec import CampaignSpec, RunSpec, describe_params, point_key
 from .runner import CampaignResult, RunRecord, run_campaign, run_specs
 from .stats import (MetricSummary, coverage_verdict, mser5, summarize,
                     summarize_points, t_quantile)
+from .telemetry import CampaignTelemetry, aggregate_telemetry
 
 __all__ = [
     "CampaignSpec",
     "RunSpec",
     "point_key",
+    "describe_params",
+    "CampaignTelemetry",
+    "aggregate_telemetry",
+    "configure_run_observation",
+    "clear_run_observation",
     "CampaignResult",
     "RunRecord",
     "run_campaign",

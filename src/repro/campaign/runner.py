@@ -27,6 +27,7 @@ tuples of picklable builtins)::
     parent -> worker : (index, scenario, params, point, rep, seed, attempt)
     parent -> worker : None                          # shutdown sentinel
     worker -> parent : ("start", index, attempt)
+    worker -> parent : ("beat",  index, attempt, snapshot)   # heartbeat
     worker -> parent : ("done",  index, attempt, record)
 
 The parent remembers, in dispatch order, every task it sent to each
@@ -38,12 +39,24 @@ that dies silently — even before sending ``start`` — is detected by the
 liveness sweep and its in-flight task retried.  Before terminating a
 timed-out worker the parent drains that worker's result pipe once more,
 so a run completing at the last instant is recorded, not killed.
+
+Observability rides the same protocol.  Each run executes with a fresh
+metrics :class:`~repro.obs.metrics.Registry` and a flight-recorder ring;
+the registry dump and the run's telemetry snapshot come back inside the
+``done`` record, and ``beat`` frames (when ``heartbeat`` is set) carry
+live rate snapshots plus the recorder's tail — so the parent can flag a
+stalled worker well before its hard timeout and can write a *partial*
+post-mortem for a worker that died too hard to dump its own.  A worker
+killed by the parent's ``terminate()`` dumps its full ring itself via
+the SIGTERM handler installed at worker start (``recorder_dir`` names
+where these JSONL artifacts land).
 """
 
 from __future__ import annotations
 
 import json
 import multiprocessing as mp
+import os
 import traceback
 from collections import deque
 from dataclasses import dataclass, field
@@ -52,11 +65,19 @@ from time import perf_counter
 from typing import Any, Callable, Sequence
 
 from ..core.errors import ConfigurationError
-from .scenarios import run_scenario
+from ..obs.metrics import Registry
+from ..obs.recorder import (FlightRecorder, arm_postmortem,
+                            disarm_postmortem, install_term_handler)
+from .scenarios import (clear_run_observation, configure_run_observation,
+                        run_scenario)
 from .spec import CampaignSpec, RunSpec
 from .stats import MetricSummary, summarize, summarize_points
+from .telemetry import CampaignTelemetry, aggregate_telemetry
 
 __all__ = ["RunRecord", "CampaignResult", "run_campaign", "run_specs"]
+
+#: default flight-recorder ring capacity (last N firings kept per run)
+DEFAULT_RECORDER_EVENTS = 256
 
 
 @dataclass(slots=True)
@@ -75,6 +96,11 @@ class RunRecord:
     wall_seconds: float = 0.0
     metrics: dict = field(default_factory=dict)
     telemetry: dict = field(default_factory=dict)
+    #: per-run metrics registry dump (``Registry.dump()`` — plain builtins);
+    #: wall-clock dependent, so excluded from :meth:`canonical`.
+    obs_metrics: list = field(default_factory=list)
+    #: flight-recorder post-mortem JSONL, when this run left one behind
+    recorder_path: str | None = None
     error: str | None = None
 
     @property
@@ -97,12 +123,48 @@ def _task_tuple(spec: RunSpec, attempt: int) -> tuple:
             spec.replication, spec.seed, attempt)
 
 
-def _execute(task: tuple, worker: int) -> RunRecord:
+def _flight_path(recorder_dir: str | None, index: int, attempt: int,
+                 partial: bool = False) -> str | None:
+    """Where run *index* attempt *attempt* dumps its flight recorder."""
+    if recorder_dir is None:
+        return None
+    stem = f"flight_run{index:05d}_a{attempt}"
+    if partial:
+        stem += ".partial"
+    return os.path.join(recorder_dir, stem + ".jsonl")
+
+
+def _execute(task: tuple, worker: int, heartbeat: float | None = None,
+             recorder_dir: str | None = None,
+             recorder_events: int = DEFAULT_RECORDER_EVENTS,
+             beat_send: Callable[[tuple], None] | None = None) -> RunRecord:
     """Run one task tuple to a finished record (shared serial/worker path)."""
     index, scenario, params, point, rep, seed, attempt = task
     rec = RunRecord(index=index, scenario=scenario, params=params,
                     point=point, replication=rep, seed=seed,
                     attempts=attempt, worker=worker)
+    registry = Registry()
+    recorder = FlightRecorder(recorder_events)
+    dump_path = _flight_path(recorder_dir, index, attempt)
+    extra = {"run_index": index, "attempt": attempt, "scenario": scenario,
+             "worker": worker}
+    if dump_path is not None:
+        # Armed for the whole run: if this process is terminated mid-run,
+        # the SIGTERM handler dumps the ring to dump_path on the way out.
+        arm_postmortem(recorder, dump_path, extra)
+    beat_hook = None
+    if beat_send is not None:
+        def beat_hook(snap: dict) -> None:
+            tail = recorder.snapshot()[-8:]
+            payload = dict(snap)
+            payload["recorder_tail"] = tail
+            payload["last_handler"] = tail[-1]["handler"] if tail else None
+            try:
+                beat_send(("beat", index, attempt, payload))
+            except OSError:
+                pass  # parent went away; the run still finishes locally
+    configure_run_observation(heartbeat=heartbeat, beat_hook=beat_hook,
+                              registry=registry, recorder=recorder)
     t0 = perf_counter()
     try:
         metrics, telemetry = run_scenario(scenario, dict(params), seed)
@@ -111,12 +173,27 @@ def _execute(task: tuple, worker: int) -> RunRecord:
     except Exception:
         rec.status = "failed"
         rec.error = traceback.format_exc(limit=20)
+        if dump_path is not None:
+            try:
+                rec.recorder_path = recorder.dump(dump_path, "exception",
+                                                  extra)
+            except OSError:
+                pass
+    finally:
+        clear_run_observation()
+        if dump_path is not None:
+            disarm_postmortem()
+    rec.obs_metrics = registry.dump()
     rec.wall_seconds = perf_counter() - t0
     return rec
 
 
-def _worker_main(worker_id: int, task_r, res_w) -> None:  # pragma: no cover
+def _worker_main(worker_id: int, task_r, res_w, heartbeat: float | None = None,
+                 recorder_dir: str | None = None,
+                 recorder_events: int = DEFAULT_RECORDER_EVENTS
+                 ) -> None:  # pragma: no cover
     # Covered via subprocesses; coverage tooling does not see this frame.
+    install_term_handler()
     while True:
         try:
             task = task_r.recv()
@@ -125,7 +202,10 @@ def _worker_main(worker_id: int, task_r, res_w) -> None:  # pragma: no cover
         if task is None:
             break
         res_w.send(("start", task[0], task[6]))
-        rec = _execute(task, worker_id)
+        rec = _execute(task, worker_id, heartbeat=heartbeat,
+                       recorder_dir=recorder_dir,
+                       recorder_events=recorder_events,
+                       beat_send=res_w.send)
         res_w.send(("done", task[0], task[6], rec))
 
 
@@ -139,6 +219,10 @@ class _Worker:
     #: dispatched-but-unfinished ``[index, attempt, started]`` entries in
     #: send order; ``started`` is None until the ``start`` message arrives.
     queue: deque = field(default_factory=deque)
+    #: latest heartbeat frame ``(index, attempt, payload)`` from this worker
+    beat: tuple | None = None
+    #: wall stamp of the last start/beat/done frame (stall detection)
+    progress_t: float = 0.0
 
 
 @dataclass
@@ -150,6 +234,10 @@ class CampaignResult:
     wall_seconds: float
     timeouts: int = 0
     retries_used: int = 0
+    worker_deaths: int = 0
+    stalls: int = 0
+    #: fleet rollups (per-worker/per-point rates, merged metrics registry)
+    telemetry: CampaignTelemetry | None = None
 
     @property
     def n_ok(self) -> int:
@@ -186,18 +274,29 @@ class CampaignResult:
 def run_campaign(spec: CampaignSpec, workers: int = 1,
                  timeout: float | None = None, retries: int = 1,
                  chunksize: int | None = None, mp_context: str | None = None,
-                 progress: Callable[[str], None] | None = None
+                 progress: Callable[[str], None] | None = None,
+                 heartbeat: float | None = None,
+                 stall_after: float | None = None,
+                 recorder_dir: str | None = None,
+                 recorder_events: int = DEFAULT_RECORDER_EVENTS
                  ) -> CampaignResult:
     """Expand *spec* and execute its run matrix (see :func:`run_specs`)."""
     return run_specs(spec.expand(), workers=workers, timeout=timeout,
                      retries=retries, chunksize=chunksize,
-                     mp_context=mp_context, progress=progress)
+                     mp_context=mp_context, progress=progress,
+                     heartbeat=heartbeat, stall_after=stall_after,
+                     recorder_dir=recorder_dir,
+                     recorder_events=recorder_events)
 
 
 def run_specs(runs: Sequence[RunSpec], workers: int = 1,
               timeout: float | None = None, retries: int = 1,
               chunksize: int | None = None, mp_context: str | None = None,
-              progress: Callable[[str], None] | None = None
+              progress: Callable[[str], None] | None = None,
+              heartbeat: float | None = None,
+              stall_after: float | None = None,
+              recorder_dir: str | None = None,
+              recorder_events: int = DEFAULT_RECORDER_EVENTS
               ) -> CampaignResult:
     """Execute an explicit list of runs; records come back in run order.
 
@@ -207,24 +306,69 @@ def run_specs(runs: Sequence[RunSpec], workers: int = 1,
     be preempted); ``retries`` is the number of *extra* attempts granted
     to a run that failed, timed out, or lost its worker; ``chunksize``
     bounds how many runs may be queued ahead at each worker.
+
+    Observability knobs: ``heartbeat`` makes each run emit telemetry
+    progress lines every that many wall seconds *and* (under the pool)
+    ship live "beat" frames to the parent; ``stall_after`` flags — via
+    ``progress`` — a worker whose current run has shown no start/beat
+    progress for that long (defaults to ``max(5·heartbeat, 1.0)`` when a
+    heartbeat is set, otherwise off); ``recorder_dir`` enables flight-
+    recorder post-mortem JSONL dumps for runs that raise, time out, or
+    lose their worker, ``recorder_events`` sizing the ring.
     """
     if retries < 0:
         raise ConfigurationError(f"retries must be >= 0, got {retries}")
     if timeout is not None and timeout <= 0:
         raise ConfigurationError(f"timeout must be > 0, got {timeout}")
+    if recorder_dir is not None:
+        os.makedirs(recorder_dir, exist_ok=True)
     t0 = perf_counter()
     if workers <= 1 or len(runs) <= 1:
-        records = [_execute(_task_tuple(s, 1), -1) for s in runs]
-        return CampaignResult(records=records, workers=1,
-                              wall_seconds=perf_counter() - t0)
+        records = [_execute(_task_tuple(s, 1), -1, heartbeat=heartbeat,
+                            recorder_dir=recorder_dir,
+                            recorder_events=recorder_events)
+                   for s in runs]
+        result = CampaignResult(records=records, workers=1,
+                                wall_seconds=perf_counter() - t0)
+        result.telemetry = aggregate_telemetry(
+            records, wall_seconds=result.wall_seconds)
+        return result
     return _run_pool(runs, workers, timeout, retries, chunksize,
-                     mp_context, progress, t0)
+                     mp_context, progress, t0, heartbeat, stall_after,
+                     recorder_dir, recorder_events)
+
+
+def _write_partial_dump(path: str, payload: dict, reason: str,
+                        extra: dict) -> str | None:
+    """Write a parent-side partial flight dump from a worker's last beat.
+
+    The ring's tail travelled inside the heartbeat frame, so even a worker
+    that died without any chance to clean up (``SIGKILL``, ``os._exit``)
+    leaves an artifact naming its last known handler.
+    """
+    tail = payload.get("recorder_tail") or []
+    header = {"record": "flight-recorder", "reason": reason, "partial": True,
+              "events": len(tail),
+              "last_handler": payload.get("last_handler")}
+    header.update(extra)
+    try:
+        with open(path, "w") as fp:
+            fp.write(json.dumps(header, sort_keys=True) + "\n")
+            for entry in tail:
+                fp.write(json.dumps(entry, sort_keys=True) + "\n")
+    except OSError:
+        return None
+    return path
 
 
 def _run_pool(runs: Sequence[RunSpec], workers: int, timeout: float | None,
               retries: int, chunksize: int | None, mp_context: str | None,
               progress: Callable[[str], None] | None,
-              t0: float) -> CampaignResult:
+              t0: float, heartbeat: float | None = None,
+              stall_after: float | None = None,
+              recorder_dir: str | None = None,
+              recorder_events: int = DEFAULT_RECORDER_EVENTS
+              ) -> CampaignResult:
     if mp_context is None:
         # fork shares the already-imported interpreter (cheap, inherits
         # test-registered scenarios); fall back to spawn where unavailable.
@@ -233,6 +377,8 @@ def _run_pool(runs: Sequence[RunSpec], workers: int, timeout: float | None,
     workers = min(workers, len(runs))
     depth = (chunksize if chunksize else
              max(2, min(32, len(runs) // workers or 1)))
+    if stall_after is None and heartbeat is not None:
+        stall_after = max(5.0 * heartbeat, 1.0)
 
     pool: dict[int, _Worker] = {}
     next_wid = 0
@@ -243,14 +389,16 @@ def _run_pool(runs: Sequence[RunSpec], workers: int, timeout: float | None,
         next_wid += 1
         task_r, task_w = ctx.Pipe(duplex=False)
         res_r, res_w = ctx.Pipe(duplex=False)
-        proc = ctx.Process(target=_worker_main, args=(wid, task_r, res_w),
+        proc = ctx.Process(target=_worker_main,
+                           args=(wid, task_r, res_w, heartbeat,
+                                 recorder_dir, recorder_events),
                            daemon=True, name=f"campaign-w{wid}")
         proc.start()
         # Close the worker-side ends in the parent so the worker's death
         # is the only thing keeping them open (recv then raises EOFError).
         task_r.close()
         res_w.close()
-        pool[wid] = _Worker(proc, task_w, res_r)
+        pool[wid] = _Worker(proc, task_w, res_r, progress_t=perf_counter())
 
     pending = deque(_task_tuple(s, 1) for s in runs)
     attempts = {s.index: 1 for s in runs}
@@ -258,6 +406,9 @@ def _run_pool(runs: Sequence[RunSpec], workers: int, timeout: float | None,
     by_index = {s.index: s for s in runs}
     timeouts = 0
     retries_used = 0
+    worker_deaths = 0
+    stalls = 0
+    stall_flagged: set[tuple[int, int]] = set()  # (index, attempt) pairs
     reported = [0]  # len(done) at the last progress emission
 
     def emit_progress() -> None:
@@ -288,22 +439,30 @@ def _run_pool(runs: Sequence[RunSpec], workers: int, timeout: float | None,
             if not sent:
                 return
 
-    def give_up(idx: int, status: str, err: str) -> None:
+    def give_up(idx: int, status: str, err: str, wid: int = -1) -> None:
         s = by_index[idx]
-        done[idx] = RunRecord(index=idx, scenario=s.scenario, params=s.params,
-                              point=s.point, replication=s.replication,
-                              seed=s.seed, status=status,
-                              attempts=attempts[idx], error=err)
+        rec = RunRecord(index=idx, scenario=s.scenario, params=s.params,
+                        point=s.point, replication=s.replication,
+                        seed=s.seed, status=status,
+                        attempts=attempts[idx], worker=wid, error=err)
+        # A terminated worker dumped its full ring via SIGTERM; a dead one
+        # may have left a parent-written partial.  Either way, point at it.
+        for partial in (False, True):
+            path = _flight_path(recorder_dir, idx, attempts[idx], partial)
+            if path is not None and os.path.exists(path):
+                rec.recorder_path = path
+                break
+        done[idx] = rec
         emit_progress()
 
-    def reap_or_retry(idx: int, status: str, err: str) -> None:
+    def reap_or_retry(idx: int, status: str, err: str, wid: int = -1) -> None:
         nonlocal retries_used
         if attempts[idx] <= retries:
             attempts[idx] += 1
             retries_used += 1
             pending.append(_task_tuple(by_index[idx], attempts[idx]))
         else:
-            give_up(idx, status, err)
+            give_up(idx, status, err, wid)
         # Unconditional: a terminal give-up frees a dispatch slot exactly
         # like a completion does — without this refill, a campaign whose
         # window filled with given-up runs would stall forever.
@@ -315,8 +474,11 @@ def _run_pool(runs: Sequence[RunSpec], workers: int, timeout: float | None,
         if head is None or head[0] != idx or head[1] != att:
             return  # defensive: messages are FIFO per worker, so the
             # head is always the run in progress; anything else is stale
+        w.progress_t = perf_counter()
         if kind == "start":
-            head[2] = perf_counter()
+            head[2] = w.progress_t
+        elif kind == "beat":
+            w.beat = (idx, att, msg[3])
         elif kind == "done":
             w.queue.popleft()
             rec = msg[3]
@@ -381,7 +543,30 @@ def _run_pool(runs: Sequence[RunSpec], workers: int, timeout: float | None,
                     retire(wid)
                     spawn_worker()
                     reap_or_retry(head[0], "timeout",
-                                  f"run exceeded {timeout}s wall timeout")
+                                  f"run exceeded {timeout}s wall timeout",
+                                  wid)
+            if stall_after is not None:
+                for wid, w in pool.items():
+                    head = w.queue[0] if w.queue else None
+                    if head is None or head[2] is None:
+                        continue  # nothing started: dispatch idle, not stall
+                    key = (head[0], head[1])
+                    if key in stall_flagged:
+                        continue
+                    quiet = now - max(w.progress_t, head[2])
+                    if quiet <= stall_after:
+                        continue
+                    stall_flagged.add(key)
+                    stalls += 1
+                    last = ""
+                    if w.beat is not None and w.beat[:2] == key:
+                        handler = w.beat[2].get("last_handler")
+                        if handler:
+                            last = f", last handler {handler}"
+                    if progress is not None:
+                        progress(f"[campaign] worker {wid} stalled on run "
+                                 f"{head[0]} (attempt {head[1]}): no "
+                                 f"progress for {quiet:.1f}s{last}")
             for wid, w in list(pool.items()):
                 if w.proc.is_alive():
                     continue
@@ -390,9 +575,21 @@ def _run_pool(runs: Sequence[RunSpec], workers: int, timeout: float | None,
                 head = w.queue[0] if w.queue else None
                 retire(wid)
                 spawn_worker()
+                worker_deaths += 1
                 if head is not None:
+                    if recorder_dir is not None and w.beat is not None \
+                            and w.beat[:2] == (head[0], head[1]):
+                        # The worker died too hard to dump its own ring;
+                        # reconstruct a partial from its last beat frame.
+                        _write_partial_dump(
+                            _flight_path(recorder_dir, head[0], head[1],
+                                         partial=True),
+                            w.beat[2],
+                            f"worker died (exitcode {exitcode})",
+                            {"run_index": head[0], "attempt": head[1],
+                             "worker": wid})
                     reap_or_retry(head[0], "failed",
-                                  f"worker died (exitcode {exitcode})")
+                                  f"worker died (exitcode {exitcode})", wid)
                 else:
                     dispatch()
     finally:
@@ -415,6 +612,12 @@ def _run_pool(runs: Sequence[RunSpec], workers: int, timeout: float | None,
                     pass
 
     records = [done[s.index] for s in runs]
-    return CampaignResult(records=records, workers=workers,
-                          wall_seconds=perf_counter() - t0,
-                          timeouts=timeouts, retries_used=retries_used)
+    result = CampaignResult(records=records, workers=workers,
+                            wall_seconds=perf_counter() - t0,
+                            timeouts=timeouts, retries_used=retries_used,
+                            worker_deaths=worker_deaths, stalls=stalls)
+    result.telemetry = aggregate_telemetry(
+        records, wall_seconds=result.wall_seconds, timeouts=timeouts,
+        retries_used=retries_used, worker_deaths=worker_deaths,
+        stalls=stalls)
+    return result

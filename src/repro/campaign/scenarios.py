@@ -18,7 +18,8 @@ from typing import Any, Callable, Mapping
 from ..core.errors import ConfigurationError
 from ..core.rng import StreamFactory
 
-__all__ = ["SCENARIOS", "register_scenario", "run_scenario", "theory_for"]
+__all__ = ["SCENARIOS", "register_scenario", "run_scenario", "theory_for",
+           "configure_run_observation", "clear_run_observation"]
 
 ScenarioFn = Callable[[dict, int], tuple[dict, dict]]
 
@@ -43,13 +44,54 @@ def run_scenario(name: str, params: Mapping[str, Any],
     return fn(dict(params), int(seed))
 
 
+#: Process-local observation config applied to every scenario run in this
+#: process.  The campaign runner (parent for serial runs, each worker for
+#: pooled ones) sets it per run; nothing here ever crosses a pipe, so the
+#: entries may be live objects (a Registry, a FlightRecorder, callables).
+_RUN_OBS: dict[str, Any] = {}
+
+
+def configure_run_observation(heartbeat: float | None = None, sink=None,
+                              beat_hook=None, registry=None,
+                              recorder=None) -> None:
+    """Install the observation wiring scenario runs should attach.
+
+    ``registry``/``recorder`` enable the metrics and flight-recorder
+    facets; ``heartbeat``/``sink`` drive telemetry progress lines; and
+    ``beat_hook`` receives every heartbeat's snapshot dict (the campaign
+    worker uses it to ship live "beat" frames to the parent).
+    """
+    _RUN_OBS.clear()
+    _RUN_OBS.update(heartbeat=heartbeat, sink=sink, beat_hook=beat_hook,
+                    registry=registry, recorder=recorder)
+
+
+def clear_run_observation() -> None:
+    """Drop the per-run observation wiring (runs go back to bare telemetry)."""
+    _RUN_OBS.clear()
+
+
+def _build_observation():
+    """The Observation a scenario run should attach (honours ``_RUN_OBS``)."""
+    from ..obs import Observation
+
+    cfg = _RUN_OBS
+    obs = Observation(trace=False, profile=False, telemetry=True,
+                      heartbeat=cfg.get("heartbeat"), sink=cfg.get("sink"),
+                      metrics=cfg.get("registry") or False,
+                      recorder=cfg.get("recorder"))
+    hook = cfg.get("beat_hook")
+    if hook is not None and obs.telemetry is not None:
+        obs.telemetry.beat_hook = hook
+    return obs
+
+
 def _observed_queue_run(simulate, kwargs: dict, warmup: Any,
                         n_jobs: int) -> tuple[dict, dict]:
     """Shared tail for the queueing scenarios: run, truncate, package."""
-    from ..obs import Observation
     from .stats import mser5
 
-    obs = Observation(telemetry=True)
+    obs = _build_observation()
     if warmup == "mser5":
         stats = simulate(n_jobs=n_jobs, warmup=0, seed=kwargs.pop("seed"),
                          obs=obs, keep_series=True, **kwargs)

@@ -28,12 +28,24 @@ from typing import Any, Mapping, Sequence
 from ..core.errors import ConfigurationError
 from ..core.rng import StreamFactory
 
-__all__ = ["RunSpec", "CampaignSpec", "point_key"]
+__all__ = ["RunSpec", "CampaignSpec", "point_key", "describe_params"]
 
 
 def point_key(params: Mapping[str, Any]) -> str:
     """Canonical string identity of one grid point (sorted-key JSON)."""
     return json.dumps(dict(params), sort_keys=True, default=str)
+
+
+def describe_params(params: Mapping[str, Any] | Sequence[tuple],
+                    limit: int = 48) -> str:
+    """Compact human label for a parameter assignment (``rho=0.6 c=2``).
+
+    Used by progress lines and the campaign telemetry report, where the
+    sorted-JSON :func:`point_key` is too noisy for a table cell.
+    """
+    items = sorted(dict(params).items())
+    text = " ".join(f"{k}={v}" for k, v in items) or "(defaults)"
+    return text if len(text) <= limit else text[:limit - 1] + "…"
 
 
 @dataclass(frozen=True, slots=True)

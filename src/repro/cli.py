@@ -16,6 +16,7 @@ python -m repro classify                                # classify live engines
 python -m repro executors [--executor all] [...]        # E7 executor shoot-out
 python -m repro flows [--mode both] [...]               # E8 sharing-engine duel
 python -m repro campaign [--grid rho=0.5,0.7] [...]     # E10 ensemble engine
+python -m repro campaign --report --prom metrics.prom   # fleet telemetry
 python -m repro campaign --evolve --space c=1:8:int ... # evolutionary search
 ```
 """
@@ -65,6 +66,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="campaign worker processes for --runs > 1")
     p_val.add_argument("--level", type=float, default=0.95,
                        help="confidence level for the CI verdict")
+    p_val.add_argument("--heartbeat", type=float, default=None, metavar="SECS",
+                       help="emit a progress line every SECS wall seconds "
+                            "(ensemble runs inherit it per run)")
 
     p_prof = sub.add_parser(
         "profile", help="run a workload under the obs profiler/tracer")
@@ -163,6 +167,20 @@ def build_parser() -> argparse.ArgumentParser:
                       help="per-run wall timeout in seconds (pool only)")
     p_cp.add_argument("--retries", type=int, default=1,
                       help="extra attempts for failed/hung runs")
+    p_cp.add_argument("--heartbeat", type=float, default=None, metavar="SECS",
+                      help="per-run telemetry heartbeat every SECS wall "
+                           "seconds; under --workers > 1 also ships live "
+                           "beat frames and arms the stall detector")
+    p_cp.add_argument("--report", action="store_true",
+                      help="print the campaign telemetry report (per-worker "
+                           "and per-point rates, slowest runs)")
+    p_cp.add_argument("--prom", metavar="FILE", default=None,
+                      help="write the merged metrics registry in Prometheus "
+                           "text exposition format")
+    p_cp.add_argument("--recorder-dir", metavar="DIR", default=None,
+                      help="directory for flight-recorder post-mortem JSONL "
+                           "dumps (written when a run fails, times out, or "
+                           "loses its worker)")
     p_cp.add_argument("--evolve", action="store_true",
                       help="evolutionary search instead of a grid sweep")
     p_cp.add_argument("--space", action="append", default=[],
@@ -235,10 +253,11 @@ def _cmd_validate(args) -> int:
         print("error: --rho must be in (0,1)", file=sys.stderr)
         return 2
     obs = None
-    if args.trace or args.profile:
+    if args.trace or args.profile or args.heartbeat is not None:
         from .obs import Observation
 
-        obs = Observation(trace=bool(args.trace), profile=True, telemetry=True)
+        obs = Observation(trace=bool(args.trace), profile=True,
+                          telemetry=True, heartbeat=args.heartbeat)
     model = MM1(args.rho, 1.0)
     stats = simulate_mm1(args.rho, 1.0, n_jobs=args.jobs, seed=args.seed,
                          obs=obs)
@@ -262,7 +281,8 @@ def _validate_ensemble(args, model) -> bool:
 
     spec = CampaignSpec("mm1", base={"rho": args.rho, "jobs": args.jobs},
                         replications=args.runs, root_seed=args.seed)
-    result = run_campaign(spec, workers=args.workers)
+    result = run_campaign(spec, workers=args.workers,
+                          heartbeat=getattr(args, "heartbeat", None))
     summaries = result.summaries(["L", "Lq", "W", "Wq", "utilization"],
                                  level=args.level)
     verdict = coverage_verdict(summaries, model)
@@ -490,7 +510,8 @@ def _cmd_campaign(args) -> int:
     spec = CampaignSpec(args.scenario, base=base, grid=grid,
                         replications=args.runs, root_seed=args.seed)
     result = run_campaign(spec, workers=args.workers, timeout=args.timeout,
-                          retries=args.retries,
+                          retries=args.retries, heartbeat=args.heartbeat,
+                          recorder_dir=args.recorder_dir,
                           progress=lambda line: print(line, file=sys.stderr))
     metrics = args.metrics.split(",") if args.metrics else None
     points = spec.points()
@@ -520,6 +541,16 @@ def _cmd_campaign(args) -> int:
         print(f"  FAILED run {rec.index} ({rec.status}, "
               f"{rec.attempts} attempts): "
               f"{first_line[-1] if first_line else ''}", file=sys.stderr)
+        if rec.recorder_path:
+            print(f"    flight recorder: {rec.recorder_path}",
+                  file=sys.stderr)
+    if args.report and result.telemetry is not None:
+        print()
+        print(result.telemetry.report())
+    if args.prom and result.telemetry is not None:
+        with open(args.prom, "w") as fp:
+            fp.write(result.telemetry.metrics.prometheus_text())
+        print(f"wrote Prometheus metrics: {args.prom}", file=sys.stderr)
     return 0 if result.n_ok == len(result.records) else 1
 
 

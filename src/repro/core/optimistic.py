@@ -178,6 +178,13 @@ class OptimisticExecutor:
                 gvt = self._gvt()
                 if gvt > until:
                     break
+                # GVT is a global quantity: notify one binding per round
+                # (bindings of one Observation share telemetry/metrics).
+                for lp in self._lps:
+                    obs = lp.sim._obs
+                    if obs is not None:
+                        obs.on_gvt(gvt)
+                        break
                 for rt in (self._rts[lp.name] for lp in self._lps):
                     self._fossil_collect(rt, gvt)
                 rounds += 1

@@ -11,16 +11,26 @@ processes) and get
   (:mod:`repro.obs.profiler`);
 * **run telemetry** — events/sec, sim-time/wall-time ratio, queue depth,
   and a heartbeat progress line (:mod:`repro.obs.telemetry`);
+* **fleet metrics** — labeled counters/gauges/histograms in a mergeable
+  :class:`Registry` with Prometheus text-format and JSONL exporters
+  (:mod:`repro.obs.metrics`);
+* **flight recorder** — a bounded ring of the last N firings, dumped as a
+  JSONL post-mortem when a run dies (:mod:`repro.obs.recorder`);
 * **exports** — Chrome trace-event JSON (load it in Perfetto), CSV
   metrics, and markdown hot-spot tables (:mod:`repro.obs.export`).
 
 Disabled cost is a single attribute check in the kernel — measured by the
-``obs_overhead`` scenario in ``benchmarks/bench_kernel_hotpath.py``.
+``obs_overhead`` scenario in ``benchmarks/bench_kernel_hotpath.py`` and the
+``e11_obs_fleet`` baseline section (disabled ≤2%, metrics-only ≤10%).
 """
 
 from .export import (chrome_trace, metrics_csv, profile_csv,
                      profile_markdown, telemetry_csv, write_chrome_trace)
+from .metrics import (Counter, Gauge, Histogram, Registry, get_registry,
+                      set_registry)
 from .profiler import HandlerProfiler, HandlerStats
+from .recorder import (FlightRecorder, arm_postmortem, disarm_postmortem,
+                       dump_postmortem, install_term_handler)
 from .session import Observation, ObsBinding
 from .spans import AsyncSpan, EventSpan, Marker, SpanStatus, callback_name
 from .telemetry import Telemetry
@@ -33,6 +43,17 @@ __all__ = [
     "HandlerProfiler",
     "HandlerStats",
     "Telemetry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Registry",
+    "get_registry",
+    "set_registry",
+    "FlightRecorder",
+    "arm_postmortem",
+    "disarm_postmortem",
+    "dump_postmortem",
+    "install_term_handler",
     "EventSpan",
     "AsyncSpan",
     "Marker",

@@ -4,7 +4,10 @@ The ROADMAP's "fast as the hardware allows" goal is unverifiable without a
 profile; this module aggregates per-callback wall time (``perf_counter_ns``
 around each firing) and firing counts, keyed by the callback's
 ``module.qualname`` — so ten thousand ``Process._step`` firings collapse
-into one row, exactly the granularity a hot-spot hunt needs.
+into one row, exactly the granularity a hot-spot hunt needs.  Anonymous
+callables are the exception: each lambda keys on its definition site
+(``mod.<lambda>@file.py:42``, see :func:`~repro.obs.spans.callback_name`),
+so distinct lambdas never melt into one unattributable ``<lambda>`` row.
 
 Aggregation is O(1) per firing: one dict lookup on the *callback object*
 (an identity-keyed memo resolves the display key once per distinct

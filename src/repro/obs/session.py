@@ -33,7 +33,9 @@ from typing import Any, Optional
 from ..core.queues import AdaptiveQueue
 from .export import (chrome_trace, metrics_csv, profile_markdown,
                      write_chrome_trace)
+from .metrics import POW2_BUCKET_MAX_EXP, Registry
 from .profiler import HandlerProfiler
+from .recorder import FlightRecorder
 from .spans import EventSpan
 from .telemetry import Telemetry
 from .tracer import Tracer
@@ -51,7 +53,10 @@ class ObsBinding:
     """
 
     __slots__ = ("obs", "sim", "track", "tracer", "profiler", "telemetry",
-                 "current")
+                 "metrics", "recorder", "current",
+                 "_m_sched", "_m_fired", "_m_handler_ns", "_m_rollbacks",
+                 "_m_rolled_back", "_m_reallocs", "_m_migrations",
+                 "_m_gvt", "_m_gvt_rounds")
 
     def __init__(self, obs: "Observation", sim: Any, track: str) -> None:
         self.obs = obs
@@ -60,6 +65,45 @@ class ObsBinding:
         self.tracer = obs.tracer
         self.profiler = obs.profiler
         self.telemetry = obs.telemetry
+        self.metrics = obs.metrics
+        self.recorder = obs.recorder
+        # Instrument handles are resolved once per binding, never per event:
+        # the hot path (end_fire) touches pre-bound Counter/Histogram objects.
+        if self.metrics is not None:
+            m = self.metrics
+            self._m_sched = m.counter(
+                "repro_events_scheduled_total",
+                "Events entering the pending queue.", track=track)
+            self._m_fired = m.counter(
+                "repro_events_fired_total",
+                "Event handlers fired by the dispatch loop.", track=track)
+            self._m_handler_ns = m.histogram(
+                "repro_handler_duration_ns",
+                "Handler wall time in nanoseconds (pow-2 buckets).",
+                track=track)
+            self._m_rollbacks = m.counter(
+                "repro_rollbacks_total",
+                "Time Warp rollbacks applied to this LP.", track=track)
+            self._m_rolled_back = m.counter(
+                "repro_rolled_back_events_total",
+                "Speculative events undone by rollbacks.", track=track)
+            self._m_reallocs = m.counter(
+                "repro_flow_reallocations_total",
+                "Flow-network bandwidth share recomputations.", track=track)
+            self._m_migrations = m.counter(
+                "repro_queue_migrations_total",
+                "Adaptive event-queue backend migrations.", track=track)
+            # GVT is global, not per-LP: no track label, so every binding
+            # of this registry shares the same pair of instruments.
+            self._m_gvt = m.gauge(
+                "repro_gvt", "Latest committed global virtual time.")
+            self._m_gvt_rounds = m.counter(
+                "repro_gvt_rounds_total", "GVT reduction rounds observed.")
+        else:
+            self._m_sched = self._m_fired = self._m_handler_ns = None
+            self._m_rollbacks = self._m_rolled_back = None
+            self._m_reallocs = self._m_migrations = None
+            self._m_gvt = self._m_gvt_rounds = None
         #: span of the event whose handler is executing right now — the
         #: causal parent of anything scheduled during that window.
         self.current: Optional[EventSpan] = None
@@ -71,6 +115,9 @@ class ObsBinding:
         tracer = self.tracer
         if tracer is not None:
             ev.obs_span = tracer.on_schedule(self.track, ev, now, self.current)
+        m = self._m_sched
+        if m is not None:
+            m.value += 1.0
 
     def begin_fire(self, ev: Any) -> int:
         """About to run *ev*'s handler; returns the wall stamp."""
@@ -94,6 +141,22 @@ class ObsBinding:
         telemetry = self.telemetry
         if telemetry is not None:
             telemetry.on_event(self.sim)
+        m = self._m_fired
+        if m is not None:
+            m.value += 1.0
+            # Inlined Histogram.observe: dur is an int of nanoseconds, so
+            # the pow-2 bucket index is its bit length (kept in sync with
+            # metrics.Histogram — the e11 bench gates this path at <=10%).
+            h = self._m_handler_ns
+            h.count += 1
+            h.sum += dur
+            idx = dur.bit_length()
+            h.counts[idx if idx <= POW2_BUCKET_MAX_EXP
+                     else POW2_BUCKET_MAX_EXP + 1] += 1
+        recorder = self.recorder
+        if recorder is not None:
+            recorder.ring.append(
+                (self.track, ev.time, ev.fn, len(self.sim._queue)))
 
     # -- layer hooks (processes, transfers, cross-LP messages) ---------------
 
@@ -140,6 +203,9 @@ class ObsBinding:
         telemetry = self.telemetry
         if telemetry is not None:
             telemetry.on_reallocate(flows, rescheduled, preserved)
+        m = self._m_reallocs
+        if m is not None:
+            m.value += 1.0
 
     def on_queue_migrate(self, src: str, dst: str, moved: int) -> None:
         """The adaptive event queue switched its backing structure."""
@@ -151,6 +217,9 @@ class ObsBinding:
         telemetry = self.telemetry
         if telemetry is not None:
             telemetry.on_queue_migrate(src, dst, moved)
+        m = self._m_migrations
+        if m is not None:
+            m.value += 1.0
 
     def on_rollback(self, now: float, straggler_time: float,
                     restored_to: float, depth_events: int) -> None:
@@ -165,6 +234,20 @@ class ObsBinding:
         telemetry = self.telemetry
         if telemetry is not None:
             telemetry.on_rollback(depth_events)
+        m = self._m_rollbacks
+        if m is not None:
+            m.value += 1.0
+            self._m_rolled_back.value += depth_events
+
+    def on_gvt(self, gvt: float) -> None:
+        """The optimistic executor committed a new global virtual time."""
+        m = self._m_gvt
+        if m is not None:
+            m.value = gvt
+            self._m_gvt_rounds.value += 1.0
+        telemetry = self.telemetry
+        if telemetry is not None:
+            telemetry.on_gvt(gvt)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<ObsBinding track={self.track!r}>"
@@ -182,15 +265,31 @@ class Observation:
         Wall seconds between progress lines (None = silent telemetry).
     sink:
         Heartbeat destination (default stderr); any ``str -> None`` callable.
+    metrics:
+        ``True`` for a fresh :class:`~repro.obs.metrics.Registry`, or pass a
+        registry to share one across observations (default off — the
+        single-run facets above are usually enough outside fleet runs).
+    recorder:
+        Flight-recorder capacity (an int), or a prebuilt
+        :class:`~repro.obs.recorder.FlightRecorder` to share (default off).
     """
 
     def __init__(self, trace: bool = True, profile: bool = True,
                  telemetry: bool = True, heartbeat: float | None = None,
-                 sink=None) -> None:
+                 sink=None, metrics: "bool | Registry" = False,
+                 recorder: "int | FlightRecorder | None" = None) -> None:
         self.tracer: Tracer | None = Tracer() if trace else None
         self.profiler: HandlerProfiler | None = HandlerProfiler() if profile else None
         self.telemetry: Telemetry | None = (
             Telemetry(heartbeat=heartbeat, sink=sink) if telemetry else None)
+        if metrics is True:
+            self.metrics: Registry | None = Registry()
+        else:
+            self.metrics = metrics or None
+        if recorder is None or isinstance(recorder, FlightRecorder):
+            self.recorder: FlightRecorder | None = recorder
+        else:
+            self.recorder = FlightRecorder(int(recorder))
         self.bindings: list[ObsBinding] = []
         self._job_hook_installed = False
 
@@ -283,6 +382,12 @@ class Observation:
             sim = self.bindings[0].sim
         return metrics_csv(self.profiler, self.telemetry, sim)
 
+    def prometheus_text(self) -> str:
+        """Metrics registry in Prometheus exposition format."""
+        if self.metrics is None:
+            raise ValueError("metrics were not enabled on this Observation")
+        return self.metrics.prometheus_text()
+
     def summary(self) -> dict:
         """Topline numbers from every enabled facet."""
         out: dict[str, Any] = {}
@@ -295,10 +400,17 @@ class Observation:
         if self.telemetry is not None:
             sim = self.bindings[0].sim if self.bindings else None
             out["telemetry"] = self.telemetry.snapshot(sim)
+        if self.metrics is not None:
+            out["metrics"] = {"instruments": len(self.metrics)}
+        if self.recorder is not None:
+            out["recorder"] = {"events": len(self.recorder),
+                               "last_handler": self.recorder.last_handler()}
         return out
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         facets = [name for name, on in (("trace", self.tracer),
                                         ("profile", self.profiler),
-                                        ("telemetry", self.telemetry)) if on]
+                                        ("telemetry", self.telemetry),
+                                        ("metrics", self.metrics),
+                                        ("recorder", self.recorder)) if on]
         return f"<Observation {'+'.join(facets) or 'off'} sims={len(self.bindings)}>"

@@ -18,6 +18,7 @@ begin/end intervals that outlive any single event (file transfers).
 
 from __future__ import annotations
 
+from os.path import basename
 from typing import Any, Optional
 
 __all__ = ["SpanStatus", "EventSpan", "Marker", "AsyncSpan"]
@@ -148,7 +149,14 @@ class AsyncSpan:
 
 
 def callback_name(fn: Any) -> str:
-    """``module.qualname`` for any callable (methods, partials, lambdas)."""
+    """``module.qualname`` for any callable (methods, partials, lambdas).
+
+    Anonymous callables would all collapse into one ``<lambda>`` bucket and
+    make hot-spot tables unattributable, so lambdas get their definition
+    site appended (``queues.<lambda>@bench.py:42``) — distinct lambdas stay
+    distinct while named functions (including through ``functools.partial``
+    and bound methods) keep their plain ``module.qualname`` key.
+    """
     f = getattr(fn, "__func__", fn)  # unwrap bound methods
     qual = getattr(f, "__qualname__", None)
     if qual is None:
@@ -158,4 +166,9 @@ def callback_name(fn: Any) -> str:
         return type(fn).__name__
     module = getattr(f, "__module__", "") or ""
     short = module.rsplit(".", 1)[-1] if module else ""
-    return f"{short}.{qual}" if short else qual
+    name = f"{short}.{qual}" if short else qual
+    if "<lambda>" in qual:
+        code = getattr(f, "__code__", None)
+        if code is not None:
+            name = f"{name}@{basename(code.co_filename)}:{code.co_firstlineno}"
+    return name

@@ -31,6 +31,13 @@ class Telemetry:
     check_every:
         How many firings between wall-clock checks — the knob trading
         heartbeat latency against per-event overhead.
+
+    Attributes
+    ----------
+    beat_hook:
+        Optional callable receiving each heartbeat's snapshot dict right
+        after the line is emitted — the campaign worker uses this to ship
+        live "beat" frames to the parent without subclassing.
     """
 
     def __init__(self, heartbeat: float | None = None,
@@ -38,6 +45,7 @@ class Telemetry:
                  check_every: int = 2048) -> None:
         self.heartbeat = heartbeat
         self.sink = sink if sink is not None else _stderr_sink
+        self.beat_hook: Callable[[dict], None] | None = None
         self.check_every = max(1, int(check_every))
         self.events = 0
         #: Time Warp accounting (fed by ``ObsBinding.on_rollback``) — zero
@@ -58,6 +66,10 @@ class Telemetry:
         self.queue_migrations = 0
         self.queue_migrated_events = 0
         self.queue_backend: str | None = None
+        #: GVT accounting (fed by ``ObsBinding.on_gvt``) — zero outside the
+        #: optimistic executor.
+        self.gvt_rounds = 0
+        self.gvt = 0.0
         self.start_wall = perf_counter()
         self.start_sim: float | None = None
         self._next_check = self.check_every
@@ -100,6 +112,11 @@ class Telemetry:
         self.queue_migrated_events += moved
         self.queue_backend = dst
 
+    def on_gvt(self, gvt: float) -> None:
+        """Record one committed global-virtual-time reduction round."""
+        self.gvt_rounds += 1
+        self.gvt = gvt
+
     # -- reporting -----------------------------------------------------------
 
     def beat(self, sim: Any, wall: float | None = None) -> str:
@@ -117,6 +134,9 @@ class Telemetry:
                 f"depth={snap['queue_depth']} "
                 f"sim/wall={snap['sim_wall_ratio']:.3g}")
         self.sink(line)
+        hook = self.beat_hook
+        if hook is not None:
+            hook(snap)
         return line
 
     def snapshot(self, sim: Any = None, wall: float | None = None) -> dict:
@@ -149,6 +169,8 @@ class Telemetry:
             "queue_migrations": int(self.queue_migrations),
             "queue_migrated_events": int(self.queue_migrated_events),
             "queue_backend": self.queue_backend,
+            "gvt_rounds": int(self.gvt_rounds),
+            "gvt": float(self.gvt),
             "commit_efficiency": ((self.events - self.rolled_back_events)
                                   / self.events if self.events else 1.0),
         }

@@ -396,3 +396,149 @@ class TestCampaignCLI:
         out = capsys.readouterr().out
         assert "ensemble: 4/4 runs ok" in out
         assert "CI verdict: theory inside every interval" in out
+
+
+class TestCampaignObservability:
+    """PR 9: metrics shipping, fleet telemetry, and flight recorder."""
+
+    def test_obs_metrics_shipped_but_not_canonical(self):
+        result = run_campaign(tiny_mm1_spec(replications=2), workers=1)
+        rec = result.records[0]
+        assert rec.obs_metrics, "runs must ship a metrics registry dump"
+        fired = [row for row in rec.obs_metrics
+                 if row["name"] == "repro_events_fired_total"]
+        assert fired and fired[0]["value"] > 0
+        # the dump is plain builtins and survives the pipe
+        assert pickle.loads(pickle.dumps(rec.obs_metrics)) == rec.obs_metrics
+        # ... but wall-clock-dependent data stays out of the determinism gate
+        assert "obs_metrics" not in rec.canonical()
+        assert "recorder_path" not in rec.canonical()
+
+    def test_campaign_telemetry_rollups(self):
+        result = run_campaign(
+            tiny_mm1_spec(replications=2, grid={"rho": [0.4, 0.7]}),
+            workers=2)
+        tel = result.telemetry
+        assert tel is not None
+        assert sum(w["runs"] for w in tel.per_worker.values()) == 4
+        assert sum(w["ok"] for w in tel.per_worker.values()) == 4
+        assert set(tel.per_point) == {0, 1}
+        assert "rho=0.4" in tel.per_point[0]["label"]
+        assert tel.events > 0
+        # the merged registry agrees with the telemetry event count
+        from repro.obs import Registry
+        assert isinstance(tel.metrics, Registry)
+        fired = sum(row["value"] for row in tel.metrics.dump()
+                    if row["name"] == "repro_events_fired_total")
+        assert int(fired) == tel.events
+        report = tel.report()
+        assert "campaign telemetry" in report
+        assert "worker" in report and "rho=0.7" in report
+        assert tel.slowest and tel.slowest[0]["wall_seconds"] >= \
+            tel.slowest[-1]["wall_seconds"]
+
+    def test_serial_run_gets_telemetry_too(self):
+        result = run_campaign(tiny_mm1_spec(replications=2), workers=1)
+        tel = result.telemetry
+        assert tel is not None
+        assert set(tel.per_worker) == {-1}
+        assert tel.per_worker[-1]["runs"] == 2
+        assert "serial" in tel.report()
+
+    def test_timeout_leaves_readable_flight_dump(self, tmp_path):
+        @register_scenario("spin-then-hang")
+        def spin_then_hang(params, seed):
+            from repro.campaign import run_scenario
+            metrics, tele = run_scenario(
+                "mm1", {"jobs": 1500, "rho": 0.5}, seed)
+            time.sleep(60)
+            return metrics, tele
+
+        spec = CampaignSpec("spin-then-hang", replications=2, root_seed=0)
+        result = run_campaign(spec, workers=2, timeout=1.0, retries=0,
+                              recorder_dir=str(tmp_path))
+        assert result.timeouts == 2
+        for rec in result.records:
+            assert rec.status == "timeout"
+            assert rec.recorder_path and os.path.exists(rec.recorder_path)
+            import json
+            with open(rec.recorder_path) as fp:
+                lines = [json.loads(line) for line in fp]
+            header, events = lines[0], lines[1:]
+            assert header["record"] == "flight-recorder"
+            assert header["reason"] == "terminated"
+            assert header["run_index"] == rec.index
+            # the dump names the handler the run was grinding through
+            assert header["last_handler"]
+            assert events and events[-1]["handler"] == header["last_handler"]
+            assert all(e["queue_depth"] >= 0 for e in events)
+
+    def test_dead_worker_partial_dump_and_no_double_count(self, tmp_path):
+        """A worker that dies via os._exit can't dump its own ring: the
+        parent reconstructs a partial from the last beat frame, and the
+        retried run contributes exactly one record to the rollups."""
+        @register_scenario("beat-then-die")
+        def beat_then_die(params, seed):
+            from repro.campaign import run_scenario
+            metrics, tele = run_scenario(
+                "mm1", {"jobs": 3000, "rho": 0.5}, seed)
+            if params.get("flag"):
+                os._exit(3)
+            return metrics, tele
+
+        spec = CampaignSpec("beat-then-die", grid={"flag": [0, 1, 0]},
+                            replications=1, root_seed=0)
+        # heartbeat=0.0 beats at every telemetry check (every 2048 events),
+        # so the parent holds a fresh frame when the worker dies.
+        result = run_campaign(spec, workers=2, retries=1, chunksize=1,
+                              heartbeat=0.0, recorder_dir=str(tmp_path),
+                              progress=lambda s: None)
+        assert [r.status for r in result.records] == ["ok", "failed", "ok"]
+        assert result.worker_deaths == 2  # first attempt and its retry
+        failed = result.records[1]
+        assert "worker died" in failed.error
+        assert failed.recorder_path is not None
+        assert failed.recorder_path.endswith(".partial.jsonl")
+        import json
+        with open(failed.recorder_path) as fp:
+            lines = [json.loads(line) for line in fp]
+        header, events = lines[0], lines[1:]
+        assert header["partial"] is True
+        assert "worker died" in header["reason"]
+        assert header["last_handler"]
+        assert events and events[-1]["handler"] == header["last_handler"]
+        # telemetry sees the death but counts the run exactly once
+        tel = result.telemetry
+        assert tel.worker_deaths == 2
+        assert sum(w["runs"] for w in tel.per_worker.values()) == 3
+        assert sum(p["runs"] for p in tel.per_point.values()) == 3
+
+    def test_stall_detector_flags_quiet_worker(self):
+        @register_scenario("hang-quietly")
+        def hang_quietly(params, seed):
+            time.sleep(60)
+            return ({}, {})
+
+        messages = []
+        spec = CampaignSpec("hang-quietly", replications=2, root_seed=0)
+        result = run_specs(spec.expand(), workers=2, timeout=1.5, retries=0,
+                           stall_after=0.4, progress=messages.append)
+        assert result.stalls == 2
+        assert result.timeouts == 2
+        stall_lines = [m for m in messages if "stalled" in m]
+        assert len(stall_lines) == 2
+        assert "no progress for" in stall_lines[0]
+
+    def test_campaign_report_and_prom_cli(self, tmp_path, capsys):
+        from repro.cli import main
+
+        prom = tmp_path / "metrics.prom"
+        assert main(["campaign", "--scenario", "mm1", "--grid", "rho=0.5",
+                     "--set", "jobs=300", "--runs", "2", "--metrics", "W",
+                     "--report", "--prom", str(prom)]) == 0
+        out = capsys.readouterr().out
+        assert "campaign telemetry" in out
+        assert "worker" in out and "slowest runs:" in out
+        text = prom.read_text()
+        assert "# TYPE repro_events_fired_total counter" in text
+        assert "repro_handler_duration_ns_bucket" in text

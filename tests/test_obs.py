@@ -495,3 +495,203 @@ class TestPicklableSnapshots:
             for key, value in group.items():
                 assert type(value) in (int, float), (key, value)
         json.dumps(summary)
+
+
+class TestMetricsFacet:
+    def test_disabled_by_default_and_zero_handles(self):
+        obs = Observation()
+        assert obs.metrics is None and obs.recorder is None
+        sim = Simulator()
+        obs.attach(sim)
+        assert sim._obs._m_fired is None
+        with pytest.raises(ValueError, match="metrics"):
+            obs.prometheus_text()
+
+    def test_counters_track_scheduling_and_firing(self):
+        obs, sim = _observed_sim(trace=False, profile=False, metrics=True)
+        ev = sim.schedule(5.0, lambda: None, label="doomed")
+        for i in range(20):
+            sim.schedule(float(i), lambda: None)
+        ev.cancel()
+        sim.run()
+        m = obs.metrics
+        assert m.value("repro_events_scheduled_total", track="t0") == 21.0
+        assert m.value("repro_events_fired_total", track="t0") == 20.0
+        hist = m.histogram("repro_handler_duration_ns", track="t0")
+        assert hist.count == 20 and hist.sum > 0
+        assert m.value("repro_events_fired_total", track="t0") == \
+            obs.telemetry.snapshot(sim)["events"]
+
+    def test_shared_registry_partitions_by_track(self):
+        from repro.obs import Registry
+
+        reg = Registry()
+        obs = Observation(trace=False, profile=False, metrics=reg)
+        s1, s2 = Simulator(seed=1), Simulator(seed=2)
+        obs.attach(s1, track="a")
+        obs.attach(s2, track="b")
+        s1.schedule(0.0, lambda: None)
+        s1.schedule(1.0, lambda: None)
+        s2.schedule(0.0, lambda: None)
+        s1.run()
+        s2.run()
+        assert obs.metrics is reg
+        assert reg.value("repro_events_fired_total", track="a") == 2.0
+        assert reg.value("repro_events_fired_total", track="b") == 1.0
+        assert "metrics" in repr(obs)
+        assert obs.summary()["metrics"]["instruments"] == len(reg)
+
+    def test_gvt_is_global_not_per_track(self):
+        obs, sim = _observed_sim(trace=False, profile=False, metrics=True)
+        binding = sim._obs
+        binding.on_gvt(4.0)
+        binding.on_gvt(9.0)
+        m = obs.metrics
+        # no track label: the gauge/counter are shared across bindings
+        assert m.value("repro_gvt") == 9.0
+        assert m.value("repro_gvt_rounds_total") == 2.0
+        snap = obs.telemetry.snapshot(sim)
+        assert snap["gvt"] == 9.0 and snap["gvt_rounds"] == 2
+
+    def test_optimistic_executor_reports_gvt_once_per_round(self):
+        from repro.core.optimistic import OptimisticExecutor
+
+        a, b = LogicalProcess("A", seed=1), LogicalProcess("B", seed=2)
+        a.connect(b, 1.0)
+        b.connect(a, 1.0)
+
+        def bounce(lp, msg):
+            if msg.payload < 4:
+                other = "B" if lp.name == "A" else "A"
+                lp.send(other, "ball", msg.payload + 1)
+
+        a.on_message("ball", bounce)
+        b.on_message("ball", bounce)
+        obs = Observation(trace=False, profile=False,
+                          metrics=True).attach_lps([a, b])
+        a.sim.schedule(0.0, a.send, "B", "ball", 0)
+        OptimisticExecutor().run([a, b], until=20.0)
+        m = obs.metrics
+        rounds = m.value("repro_gvt_rounds_total")
+        assert rounds is not None and rounds >= 1
+        # shared telemetry agrees with the registry — one count per round
+        assert obs.telemetry.gvt_rounds == int(rounds)
+
+    def test_prometheus_export_from_observation(self):
+        obs, sim = _observed_sim(trace=False, profile=False, metrics=True)
+        sim.schedule(0.0, lambda: None)
+        sim.run()
+        text = obs.prometheus_text()
+        assert "# TYPE repro_events_fired_total counter" in text
+        assert 'repro_events_fired_total{track="t0"} 1' in text
+
+
+class TestLambdaDisambiguation:
+    def test_lambdas_keyed_by_definition_site(self):
+        f = lambda: None  # noqa: E731
+        g = lambda: None  # noqa: E731
+        nf, ng = callback_name(f), callback_name(g)
+        assert nf != ng, "distinct lambdas must not collapse into one key"
+        assert "test_obs.py" in nf and "<lambda>" in nf
+        # same definition site -> same key, every call
+        assert callback_name(f) == nf
+
+    def test_partial_of_lambda_gets_site_too(self):
+        f = lambda _x: None  # noqa: E731
+        assert callback_name(functools.partial(f, 1)) == callback_name(f)
+        assert "test_obs.py" in callback_name(f)
+
+    def test_named_functions_unchanged(self):
+        assert "@" not in callback_name(callback_name)
+
+    def test_profiler_separates_lambda_rows(self):
+        obs, sim = _observed_sim(trace=False)
+        sim.schedule(0.0, lambda: None)
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        keys = {r.key for r in obs.profiler.rows()}
+        assert len(keys) == 2, f"expected two rows, got {keys}"
+
+
+class TestMetricsLiteLoop:
+    """Metrics-only runs take the engine's batched lite loop."""
+
+    def _lite_obs(self):
+        return Observation(trace=False, profile=False, telemetry=False,
+                           metrics=True)
+
+    def test_counters_exact_histogram_sampled(self):
+        obs = self._lite_obs()
+        sim = Simulator(seed=1)
+        obs.attach(sim, track="t0")
+        for i in range(40):
+            sim.schedule(float(i), lambda: None)
+        sim.run()
+        m = obs.metrics
+        assert m.value("repro_events_scheduled_total", track="t0") == 40.0
+        assert m.value("repro_events_fired_total", track="t0") == 40.0
+        hist = m.histogram("repro_handler_duration_ns", track="t0")
+        # lite loop samples every 16th firing: firings 16 and 32
+        assert hist.count == 2
+        assert sum(hist.counts) == 2 and hist.sum > 0
+
+    def test_flush_happens_on_stop_simulation(self):
+        from repro.core import StopSimulation
+
+        obs = self._lite_obs()
+        sim = Simulator(seed=1)
+        obs.attach(sim, track="t0")
+
+        def boom():
+            raise StopSimulation("enough")
+
+        for i in range(5):
+            sim.schedule(float(i), lambda: None)
+        sim.schedule(5.5, boom)
+        sim.schedule(9.0, lambda: None)  # never fires
+        sim.run()
+        assert obs.metrics.value(
+            "repro_events_fired_total", track="t0") == 6.0
+
+    def test_lite_and_generic_paths_fire_identically(self):
+        def run_with(obs):
+            sim = Simulator(seed=7)
+            obs.attach(sim, track="t0")
+            fired = []
+            for i in range(30):
+                sim.schedule(float(i), fired.append, i)
+            sim.run()
+            return fired, sim.events_executed
+
+        lite, n1 = run_with(self._lite_obs())
+        generic, n2 = run_with(Observation(trace=False, profile=False,
+                                           telemetry=True, metrics=True))
+        assert lite == generic and n1 == n2 == 30
+
+    def test_telemetry_or_recorder_forces_generic_path(self):
+        # with telemetry on, every firing is timed (no sampling)
+        obs = Observation(trace=False, profile=False, telemetry=True,
+                          metrics=True)
+        sim = Simulator(seed=1)
+        obs.attach(sim, track="t0")
+        for i in range(20):
+            sim.schedule(float(i), lambda: None)
+        sim.run()
+        hist = obs.metrics.histogram("repro_handler_duration_ns", track="t0")
+        assert hist.count == 20
+
+    def test_max_events_budget_still_enforced(self):
+        from repro.core import SchedulingError
+
+        obs = self._lite_obs()
+        sim = Simulator(seed=1)
+        obs.attach(sim, track="t0")
+
+        def chain():
+            sim.schedule(sim.now + 1.0, chain)
+
+        sim.schedule(0.0, chain)
+        with pytest.raises(SchedulingError, match="budget"):
+            sim.run(max_events=10)
+        assert obs.metrics.value(
+            "repro_events_fired_total", track="t0") == 10.0
