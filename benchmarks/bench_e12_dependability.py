@@ -1,0 +1,139 @@
+#!/usr/bin/env python
+"""E12 — dependability campaign: correlated faults, availability vs theory.
+
+Three gates, all correctness (no perf floor — fault handling is not a hot
+path):
+
+1. **Determinism** — a 30-replication ``dependability`` campaign (star
+   grid, per-site Exp(mtbf)/Exp(mttr) outage cycles taking down machine +
+   access link together, abort→backoff→retry on every in-flight transfer)
+   must produce **byte-identical** per-seed metric records serially and
+   under the 4-worker process pool.
+2. **Availability vs theory** — the campaign's t-CI over measured
+   availability must contain the renewal-theory steady state
+   ``mtbf / (mtbf + mttr)``.
+3. **Differential cross-check** — the deterministic fault-churn workload
+   (scripted square-wave outages at full rating) must agree with its
+   analytically-equivalent static twin (no outages, duty-derated rating)
+   within the phase bound, and the static twin must match the arithmetic
+   exactly.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_e12_dependability.py
+    python benchmarks/run_kernel_baseline.py --section e12
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from pathlib import Path
+from time import perf_counter
+
+_HERE = Path(__file__).resolve().parent
+for p in (str(_HERE), str(_HERE.parent / "src")):
+    if p not in sys.path:
+        sys.path.insert(0, p)
+
+from repro.campaign import CampaignSpec, run_campaign  # noqa: E402
+from repro.campaign.scenarios import theory_for  # noqa: E402
+from repro.workloads.faultchurn import FaultChurnModel  # noqa: E402
+
+#: worker count for the parallel half of the determinism gate
+E12_WORKERS = 4
+
+
+def collect_e12(runs: int = 30, sites: int = 4, mtbf: float = 50.0,
+                mttr: float = 10.0, horizon: float = 2000.0,
+                root_seed: int = 0) -> dict:
+    """Run the dependability gates; returns the ``e12_dependability``
+    section.  The workload is small enough that smoke keeps full size —
+    the 30-replication floor is part of the acceptance criteria."""
+    base = {"sites": sites, "mtbf": mtbf, "mttr": mttr, "horizon": horizon}
+    spec = CampaignSpec("dependability", base=base, replications=runs,
+                        root_seed=root_seed)
+
+    t0 = perf_counter()
+    serial = run_campaign(spec, workers=1)
+    serial_wall = perf_counter() - t0
+    if serial.n_ok != len(serial.records):
+        raise RuntimeError(
+            f"{len(serial.failures)} dependability runs failed serially")
+    t0 = perf_counter()
+    pooled = run_campaign(spec, workers=E12_WORKERS)
+    pooled_wall = perf_counter() - t0
+    identical = serial.metrics_bytes() == pooled.metrics_bytes()
+
+    summ = serial.summaries(["availability"])["availability"]
+    theory = theory_for("dependability", base)["availability"]
+    ci_contains = summ.contains(theory)
+
+    churn = FaultChurnModel(inject=True).run()
+    static = FaultChurnModel(inject=False).run()
+    cstats = churn.stats()
+    static_gap = abs(max(static.makespans()) - static.analytic_makespan())
+    differential_ok = (cstats["differential_gap"]
+                       <= cstats["differential_bound"]
+                       and static_gap < 1e-9)
+
+    return {
+        "scenario": "dependability",
+        "runs": runs,
+        "sites": sites,
+        "mtbf": mtbf,
+        "mttr": mttr,
+        "horizon": horizon,
+        "root_seed": root_seed,
+        "cpu_count": os.cpu_count() or 1,
+        "serial_wall_seconds": round(serial_wall, 3),
+        "pooled_wall_seconds": round(pooled_wall, 3),
+        "pool_workers": E12_WORKERS,
+        "identical": identical,
+        "availability": {
+            "mean": round(summ.mean, 6),
+            "ci_lo": round(summ.lo, 6),
+            "ci_hi": round(summ.hi, 6),
+            "n": summ.n,
+            "theory": round(theory, 6),
+            "ci_contains_theory": ci_contains,
+        },
+        "fault_churn": {
+            "differential_gap": round(cstats["differential_gap"], 6),
+            "differential_bound": round(cstats["differential_bound"], 6),
+            "static_gap": round(static_gap, 9),
+            "evictions": cstats["evictions"],
+            "completed_jobs": cstats["completed_jobs"],
+            "transfer_retries": cstats["transfer_retries"],
+            "flow_aborts": cstats["flow_aborts"],
+            "differential_ok": differential_ok,
+        },
+        "all_ok": identical and ci_contains and differential_ok,
+    }
+
+
+def main() -> int:
+    section = collect_e12()
+    avail = section["availability"]
+    churn = section["fault_churn"]
+    print(f"campaign: {section['runs']} x dependability "
+          f"(sites={section['sites']}, mtbf={section['mtbf']}, "
+          f"mttr={section['mttr']}, horizon={section['horizon']})")
+    print(f"  serial {section['serial_wall_seconds']:.3f}s, "
+          f"{section['pool_workers']} workers "
+          f"{section['pooled_wall_seconds']:.3f}s, "
+          f"byte-identical: {section['identical']}")
+    print(f"  availability CI [{avail['ci_lo']:.5f}, {avail['ci_hi']:.5f}] "
+          f"mean {avail['mean']:.5f} vs theory {avail['theory']:.5f} "
+          f"-> contains: {avail['ci_contains_theory']}")
+    print(f"  fault churn gap {churn['differential_gap']:.3f} <= "
+          f"bound {churn['differential_bound']:.3f}, static gap "
+          f"{churn['static_gap']:.1e} -> ok: {churn['differential_ok']} "
+          f"(evictions={churn['evictions']}, "
+          f"retries={churn['transfer_retries']})")
+    print(f"all gates: {section['all_ok']}")
+    return 0 if section["all_ok"] else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

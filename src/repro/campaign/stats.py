@@ -174,7 +174,10 @@ def coverage_verdict(summaries: Mapping[str, MetricSummary],
             value = theory.get(name, theory.get(attr))
         else:
             value = getattr(theory, attr, None)
-        if value is None or not isinstance(value, (int, float)):
+        # bool is an int subclass: a True/False theory entry would silently
+        # become a nonsense 0/1 coverage check, so reject it explicitly.
+        if (value is None or isinstance(value, bool)
+                or not isinstance(value, (int, float))):
             continue
         out[name] = {"theory": float(value), "lo": summ.lo, "hi": summ.hi,
                      "mean": summ.mean, "n": summ.n,

@@ -18,6 +18,7 @@ python -m repro flows [--mode both] [...]               # E8 sharing-engine duel
 python -m repro campaign [--grid rho=0.5,0.7] [...]     # E10 ensemble engine
 python -m repro campaign --report --prom metrics.prom   # fleet telemetry
 python -m repro campaign --evolve --space c=1:8:int ... # evolutionary search
+python -m repro campaign --scenario dependability ...   # E12 fault campaigns
 ```
 """
 
@@ -144,7 +145,8 @@ def build_parser() -> argparse.ArgumentParser:
         help="run a Monte Carlo ensemble (or evolutionary search) of a "
              "registered scenario")
     p_cp.add_argument("--scenario", default="mm1",
-                      help="registered scenario name (mm1|mmc|provision|...)")
+                      help="registered scenario name "
+                           "(mm1|mmc|provision|dependability|...)")
     p_cp.add_argument("--grid", action="append", default=[],
                       metavar="NAME=V1,V2,...",
                       help="sweep axis (repeatable); values are parsed as "

@@ -1,0 +1,13 @@
+"""Correlated fault injection: the dependability subsystem.
+
+``FaultGraph`` models the failure dependency structure (a site outage
+takes down its machines and attached links); ``CorrelatedFaultInjector``
+drives graph components through exponential UP/DOWN cycles drawn from
+spawned child streams, so outage schedules are byte-reproducible.  See
+DESIGN.md §5i for the abort/retry semantics on the network side.
+"""
+
+from .graph import FaultComponent, FaultGraph
+from .injector import CorrelatedFaultInjector
+
+__all__ = ["FaultComponent", "FaultGraph", "CorrelatedFaultInjector"]

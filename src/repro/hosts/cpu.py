@@ -164,22 +164,69 @@ class SpaceSharedMachine(Machine):
         self._running: set[JobRun] = set()
         self._failed = False
         self.failures = 0
+        self.evictions = 0
+        #: cumulative seconds spent down over *closed* outages; the open
+        #: interval (if any) is added by :attr:`total_downtime`.  Living on
+        #: the machine — not the injector — keeps the accounting correct
+        #: when external ``fail()``/``repair()`` calls mix with an injector.
+        self.downtime = 0.0
+        self._down_at: float | None = None
+        #: absolute time the current outage is expected to end (a scheduler
+        #: hint set by whoever crashed the machine); None = unknown.
+        self.repair_eta: float | None = None
 
     @property
     def failed(self) -> bool:
         """True while the machine is down."""
         return self._failed
 
-    def fail(self) -> int:
-        """Crash the machine; returns how many running jobs were evicted."""
+    @property
+    def total_downtime(self) -> float:
+        """Down seconds including the still-open outage (if any)."""
+        down = self.downtime
+        if self._down_at is not None:
+            down += self.sim.now - self._down_at
+        return down
+
+    @property
+    def availability(self) -> float:
+        """Fraction of elapsed time the machine was up (1.0 before t>0)."""
+        t = self.sim.now
+        if t <= 0:
+            return 1.0
+        return 1.0 - self.total_downtime / t
+
+    def fail(self, repair_eta: float | None = None) -> int:
+        """Crash the machine; returns how many running jobs were evicted.
+
+        *repair_eta* (absolute time) is the expected end of the outage;
+        :meth:`estimated_completion` uses it so schedulers stop treating a
+        dead machine as idle.  Idempotent: failing a failed machine only
+        refreshes the hint.
+        """
         if self._failed:
+            if repair_eta is not None:
+                self.repair_eta = repair_eta
             return 0
         self._failed = True
+        self.repair_eta = repair_eta
+        self._down_at = self.sim.now
         self.failures += 1
         self.monitor.counter("failures").increment(self.sim.now)
-        victims = list(self._running)
-        for run in victims:
+        victims = []
+        for run in list(self._running):
             assert run._completion is not None
+            # Zero-residue guard: a crash firing at the same timestamp as
+            # the job's completion must not resurrect the job as a
+            # zero-length rerun (double-counted in busy-level and eviction
+            # tallies) — the work is done, so complete it here.
+            if run._completion.time <= self.sim.now:
+                run._completion.cancel()
+                run._completion = None
+                run.remaining = 0.0
+                self._running.discard(run)
+                self._finish_run(run)
+                continue
             if self.restart_policy == "checkpoint":
                 rate = self.rating * (1.0 - self._background)
                 run.remaining = max(0.0,
@@ -189,9 +236,11 @@ class SpaceSharedMachine(Machine):
             run._completion.cancel()
             run._completion = None
             self._running.discard(run)
+            victims.append(run)
         # evicted jobs go to the *front* of the queue, oldest first
         self._queue[:0] = sorted(victims, key=lambda r: r.submitted)
         self._busy_level.set(self.sim.now, 0)
+        self.evictions += len(victims)
         return len(victims)
 
     def repair(self) -> None:
@@ -199,6 +248,12 @@ class SpaceSharedMachine(Machine):
         if not self._failed:
             return
         self._failed = False
+        self.repair_eta = None
+        if self._down_at is not None:
+            dt = self.sim.now - self._down_at
+            self.downtime += dt
+            self.monitor.tally("repair_time").record(dt)
+            self._down_at = None
         self.monitor.counter("repairs").increment(self.sim.now)
         while self._queue and len(self._running) < self.pes:
             self._start(self._queue.pop(0))
@@ -220,15 +275,26 @@ class SpaceSharedMachine(Machine):
         return len(self._queue)
 
     def estimated_completion(self, length: float) -> float:
-        """FCFS estimate: wait for the earliest-ending PE through the queue."""
-        ends = sorted((r._completion.time if r._completion else self.sim.now)
-                      for r in self._running)
-        free_at = list(ends) + [self.sim.now] * (self.pes - len(ends))
-        free_at.sort()
+        """FCFS estimate: wait for the earliest-ending PE through the queue.
+
+        A failed machine has ``_running`` empty, which used to make it look
+        *idle* to schedulers; instead, PEs free up at the expected repair
+        time (``repair_eta``), or never (``inf``) when no hint exists.
+        """
         rate = self.rating * (1.0 - self._background)
+        if self._failed:
+            if self.repair_eta is None:
+                return math.inf
+            free_at = [max(self.repair_eta, self.sim.now)] * self.pes
+        else:
+            ends = sorted((r._completion.time if r._completion else self.sim.now)
+                          for r in self._running)
+            free_at = list(ends) + [self.sim.now] * (self.pes - len(ends))
+            free_at.sort()
         for qr in self._queue:
             t0 = free_at.pop(0)
-            free_at.append(t0 + qr.length / rate)
+            # `remaining` is the checkpointed residue for evicted jobs.
+            free_at.append(t0 + qr.remaining / rate)
             free_at.sort()
         return free_at[0] + length / rate
 

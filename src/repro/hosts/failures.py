@@ -54,7 +54,6 @@ class MachineFailureInjector:
         self.mttr = mttr
         self.horizon = horizon
         self.monitor = Monitor(f"failures-{machine.name}")
-        self.downtime = 0.0
         self._down_since: float | None = None
         self._arm_failure()
 
@@ -64,27 +63,39 @@ class MachineFailureInjector:
             self.sim.schedule(ttf, self._crash, label="machine_crash")
 
     def _crash(self) -> None:
-        evicted = self.machine.fail()
+        if self._down_since is not None:
+            # Already mid down-cycle (a stale crash event, or reentrant
+            # external interference): never schedule a second repair.
+            return
+        ttr = self.stream.exponential(self.mttr)
+        evicted = self.machine.fail(repair_eta=self.sim.now + ttr)
+        assert self.machine.failed, \
+            f"injector/machine state diverged on {self.machine.name}"
         self._down_since = self.sim.now
         self.monitor.counter("crashes").increment(self.sim.now)
         self.monitor.tally("jobs_evicted").record(evicted)
-        self.sim.schedule(self.stream.exponential(self.mttr), self._repair,
-                          label="machine_repair")
+        self.sim.schedule(ttr, self._repair, label="machine_repair")
 
     def _repair(self) -> None:
-        assert self._down_since is not None
-        self.downtime += self.sim.now - self._down_since
+        if self._down_since is None:
+            return  # idempotent: an external repair already closed the cycle
         self._down_since = None
         self.machine.repair()
+        assert not self.machine.failed, \
+            f"injector/machine state diverged on {self.machine.name}"
         self._arm_failure()
+
+    @property
+    def downtime(self) -> float:
+        """Down seconds so far, including a still-open outage.
+
+        Delegated to the machine's own outage clock, so externally driven
+        ``fail()``/``repair()`` calls interleaved with the injector's cycle
+        can neither double-count nor lose downtime.
+        """
+        return self.machine.total_downtime
 
     @property
     def availability(self) -> float:
         """Fraction of elapsed time the machine was up (1.0 before t>0)."""
-        t = self.sim.now
-        if t <= 0:
-            return 1.0
-        down = self.downtime
-        if self._down_since is not None:
-            down += t - self._down_since
-        return 1.0 - down / t
+        return self.machine.availability

@@ -109,7 +109,9 @@ class Grid:
 
     def __init__(self, sim: Simulator, topology: Topology,
                  sites: Iterable[Site], efficiency: float = 0.92,
-                 max_concurrent_transfers: int = 4) -> None:
+                 max_concurrent_transfers: int = 4,
+                 transfer_attempts: int = 1,
+                 transfer_backoff: float = 0.5) -> None:
         self.sim = sim
         self.topology = topology
         self.sites: dict[str, Site] = {}
@@ -122,7 +124,8 @@ class Grid:
             self.sites[s.name] = s
         self.network = FlowNetwork(sim, topology, efficiency=efficiency)
         self.transfers = FileTransferService(
-            sim, self.network, max_concurrent_per_route=max_concurrent_transfers)
+            sim, self.network, max_concurrent_per_route=max_concurrent_transfers,
+            max_attempts=transfer_attempts, retry_backoff=transfer_backoff)
 
     def site(self, name: str) -> Site:
         """The site by name (ConfigurationError if unknown)."""

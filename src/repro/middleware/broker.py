@@ -71,11 +71,15 @@ class _RunnerBase:
         job.transition(JobState.STAGING, self.sim.now)
         pending = [len(missing)]
 
-        def one_done(file: FileSpec, src: str) -> None:
-            self.monitor.counter("remote_fetches").increment(self.sim.now)
-            self.monitor.tally("remote_bytes").record(file.size)
-            if self.replication is not None:
-                self.replication.on_fetch(file, src, site_name)
+        def one_done(ticket, file: FileSpec, src: str) -> None:
+            if not getattr(ticket, "failed", False):
+                # A fetch the outage ate must not count as a remote read —
+                # and above all must not register a phantom replica for
+                # bytes that never arrived.
+                self.monitor.counter("remote_fetches").increment(self.sim.now)
+                self.monitor.tally("remote_bytes").record(file.size)
+                if self.replication is not None:
+                    self.replication.on_fetch(file, src, site_name)
             pending[0] -= 1
             if pending[0] == 0:
                 then()
@@ -83,7 +87,7 @@ class _RunnerBase:
         for f in missing:
             src = self.catalog.best_replica(f.name, site_name)
             ticket = self.grid.transfers.fetch(f, src, site_name)
-            ticket._subscribe(lambda _t, f=f, src=src: one_done(f, src))
+            ticket._subscribe(lambda t, f=f, src=src: one_done(t, f, src))
 
     def _execute(self, job: Job, site_name: str) -> None:
         site = self.grid.site(site_name)

@@ -17,9 +17,10 @@ disk inventory are cross-checked when the catalog is bound to a grid).
 
 from __future__ import annotations
 
+import math
 from typing import Optional
 
-from ..core.errors import CatalogError
+from ..core.errors import CatalogError, RoutingError
 from ..hosts.site import Grid, Site
 from ..network.transfer import FileSpec
 
@@ -121,8 +122,15 @@ class ReplicaCatalog:
         topo = self.grid.topology
 
         def cost(src: str) -> tuple[float, str]:
-            bw = topo.bottleneck_bandwidth(src, dst)
-            return (size / bw + topo.path_latency(src, dst), src)
+            try:
+                bw = topo.bottleneck_bandwidth(src, dst)
+                return (size / bw + topo.path_latency(src, dst), src)
+            except RoutingError:
+                # Holder unreachable (its access link is down): worst
+                # cost, so any reachable replica wins.  When none is, the
+                # fetch itself fails on the no-route path — selection must
+                # not crash the broker mid-outage.
+                return (math.inf, src)
 
         return min(sites, key=cost)
 

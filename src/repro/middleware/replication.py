@@ -224,7 +224,7 @@ class PushReplication(ReplicationStrategy):
         targets = self._push_targets(file)
         for t in targets:
             ticket = self.grid.transfers.fetch(file, src, t)
-            ticket._subscribe(lambda _t, f=file, d=t: self._push_arrived(f, d))
+            ticket._subscribe(lambda tk, f=file, d=t: self._push_arrived(tk, f, d))
 
     def _push_targets(self, file: FileSpec) -> list[str]:
         holders = set(self.catalog.locations(file.name)) if self.catalog.has(file.name) else set()
@@ -239,7 +239,10 @@ class PushReplication(ReplicationStrategy):
                                        + topo.path_latency(src, c), c))
         return candidates[: self.fanout]
 
-    def _push_arrived(self, file: FileSpec, dst: str) -> None:
+    def _push_arrived(self, ticket, file: FileSpec, dst: str) -> None:
+        if getattr(ticket, "failed", False):
+            self._pushed.discard(file.name)  # outage ate the push; allow a redo
+            return
         disk = self.grid.site(dst).disk
         stored = self._store_replica(
             file, dst,
@@ -261,9 +264,12 @@ class DataReplicationAgent:
 
     def __init__(self, sim: Simulator, grid: Grid, catalog: ReplicaCatalog,
                  source: str, targets: Iterable[str],
-                 max_in_flight: int = 4) -> None:
+                 max_in_flight: int = 4, retry_delay: float = 5.0) -> None:
         if max_in_flight < 1:
             raise ConfigurationError("max_in_flight must be >= 1")
+        if retry_delay <= 0:
+            raise ConfigurationError("retry_delay must be > 0")
+        self.retry_delay = retry_delay
         self.sim = sim
         self.grid = grid
         self.catalog = catalog
@@ -297,10 +303,19 @@ class DataReplicationAgent:
             file = self._queues[target].popleft()
             self._in_flight[target] += 1
             ticket = self.grid.transfers.fetch(file, self.source, target)
-            ticket._subscribe(lambda _t, f=file, tgt=target: self._arrived(f, tgt))
+            ticket._subscribe(lambda tk, f=file, tgt=target: self._arrived(tk, f, tgt))
 
-    def _arrived(self, file: FileSpec, target: str) -> None:
+    def _arrived(self, ticket, file: FileSpec, target: str) -> None:
         self._in_flight[target] -= 1
+        if getattr(ticket, "failed", False):
+            # The route died mid-ship: the copy never landed, so do not
+            # register it.  Re-queue at the back and pump again after a
+            # delay — an immediate pump against a still-dead route would
+            # spin (a no-route abort fails at the same timestamp).
+            self._queues[target].append(file)
+            self.sim.schedule(self.retry_delay, self._pump, target,
+                              label="agent_retry")
+            return
         disk = self.grid.site(target).disk
         if disk is not None and not disk.has(file.name):
             if disk.free >= file.size:

@@ -53,7 +53,7 @@ from dataclasses import dataclass
 from typing import Iterable, Optional
 
 from ..core.engine import Simulator
-from ..core.errors import ConfigurationError
+from ..core.errors import ConfigurationError, RoutingError
 from ..core.events import Event, Priority
 from ..core.monitor import Monitor
 from ..core.process import Waitable
@@ -85,6 +85,12 @@ class FlowHandle(Waitable):
         self.rate = 0.0
         self.rate_cap = float(rate_cap)
         self.links: list[LinkSpec] = []
+        #: True when the transfer was aborted (a link on its route failed,
+        #: or no route existed); ``remaining`` then keeps the undelivered
+        #: byte count and ``error`` says why.  Subscribers must check this
+        #: — an aborted handle still completes (exactly once), with itself.
+        self.failed = False
+        self.error: Optional[str] = None
         self._completion: Optional[Event] = None
         self._last_update = started
 
@@ -100,7 +106,12 @@ class FlowHandle(Waitable):
         return self.size / d if d and not math.isnan(d) and d > 0 else float("nan")
 
     def __repr__(self) -> str:  # pragma: no cover
-        state = "done" if self.finished is not None else f"{self.remaining:.3g}B left"
+        if self.failed:
+            state = f"aborted ({self.error})"
+        elif self.finished is not None:
+            state = "done"
+        else:
+            state = f"{self.remaining:.3g}B left"
         return f"<Flow #{self.id} {self.src}->{self.dst} {state}>"
 
 
@@ -186,6 +197,7 @@ class FlowNetwork:
         self.monitor = Monitor("flow-network")
         self._active_level = self.monitor.level("active_flows", start_time=sim.now)
         self.completed = 0
+        self.aborted = 0
 
     # -- public API ---------------------------------------------------------------
 
@@ -201,7 +213,15 @@ class FlowNetwork:
         if size < 0:
             raise ConfigurationError(f"transfer size must be >= 0, got {size}")
         handle = FlowHandle(src, dst, size, self.sim.now, rate_cap=rate_cap)
-        handle.links = self.topology.route_links(src, dst)
+        try:
+            handle.links = self.topology.route_links(src, dst)
+        except RoutingError:
+            # Link outages partitioned the pair: fail fast (deterministic
+            # same-timestamp event) instead of raising into the caller —
+            # retry loops subscribe to the handle like any other outcome.
+            self.sim.schedule(0.0, self._abort, handle,
+                              f"no route {src} -> {dst}", label="flow_abort")
+            return handle
         latency = self.topology.path_latency(src, dst)
         if size == 0 or not handle.links:
             # Same-host copy or empty payload: latency-only, never admitted
@@ -234,9 +254,61 @@ class FlowNetwork:
         """
         return self._max_min_rates(dict(self._active))
 
+    def abort_link(self, spec: LinkSpec) -> list[FlowHandle]:
+        """Abort every active flow crossing *spec* (the link went down).
+
+        Routing state lives on the :class:`Topology` — callers mark the
+        outage there first (``topology.fail_link``) so no new flow routes
+        over the dead link, then call this to kill the in-flight ones.
+        Returns the aborted handles (each completed with ``failed=True``).
+        """
+        victims = list(self._crossing.get(spec, {}).values())
+        for f in victims:
+            self._abort(f, f"link {spec.src}->{spec.dst} failed")
+        return victims
+
     # -- internals ------------------------------------------------------------------
 
+    def _abort(self, handle: FlowHandle, reason: str) -> None:
+        """Terminate *handle* as failed: settle bytes, free its links,
+        cancel its completion, and complete it with ``failed=True``."""
+        if handle.finished is not None:
+            return  # already finished or aborted — completion fires once
+        admitted = self._active.pop(handle.id, None) is not None
+        if admitted:
+            self._settle(handle)
+            for link in handle.links:
+                crossing = self._crossing.get(link)
+                if crossing is not None:
+                    crossing.pop(handle.id, None)
+                    if not crossing:
+                        del self._crossing[link]
+            self._active_level.set(self.sim.now, len(self._active))
+        if handle._completion is not None:
+            handle._completion.cancel()
+            handle._completion = None
+        handle.rate = 0.0
+        handle.failed = True
+        handle.error = reason
+        handle.finished = self.sim.now
+        self.aborted += 1
+        self.monitor.counter("aborted_flows").increment(self.sim.now)
+        obs = self.sim._obs
+        if obs is not None:
+            obs.on_flow_abort(handle)
+        handle._complete(handle)
+        if admitted:
+            # the freed share goes back to the survivors on those links
+            self._mark_dirty(links=handle.links)
+
     def _admit(self, handle: FlowHandle) -> None:
+        # The route was up when the transfer started; a link may have died
+        # during the propagation latency.  Admitting onto a dead link would
+        # let bytes flow through an outage, so abort at the edge instead.
+        for link in handle.links:
+            if not self.topology.link_up(link.src, link.dst):
+                self._abort(handle, f"link {link.src}->{link.dst} down")
+                return
         handle._last_update = self.sim.now
         self._active[handle.id] = handle
         for link in handle.links:
@@ -245,6 +317,8 @@ class FlowNetwork:
         self._mark_dirty(flow=handle)
 
     def _finish(self, handle: FlowHandle) -> None:
+        if handle.finished is not None:
+            return  # aborted in the same instant — completion fires once
         admitted = self._active.pop(handle.id, None) is not None
         handle.remaining = 0.0
         handle.rate = 0.0

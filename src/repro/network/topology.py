@@ -69,6 +69,11 @@ class Topology:
     def __init__(self) -> None:
         self._g = nx.DiGraph()
         self._route_cache: dict[str, dict[str, list[str]]] = {}
+        #: directed edges currently out of service — routing hides them, so
+        #: traffic reroutes around an outage when an alternate path exists
+        #: and :meth:`route` raises RoutingError when the cut partitions
+        #: the pair.
+        self._down: set[tuple[str, str]] = set()
 
     # -- construction ----------------------------------------------------------
 
@@ -85,6 +90,51 @@ class Topology:
         if symmetric:
             self._g.add_edge(dst, src, spec=LinkSpec(dst, src, bandwidth, latency))
         self._route_cache.clear()
+
+    # -- link availability ------------------------------------------------------
+
+    def fail_link(self, src: str, dst: str,
+                  symmetric: bool = True) -> list[LinkSpec]:
+        """Take the ``src -> dst`` link (and its reverse when *symmetric*)
+        out of service.  Returns the specs that actually transitioned
+        up→down, so callers can abort the flows crossing them.  Raises
+        :class:`TopologyError` when the forward edge does not exist."""
+        if not self._g.has_edge(src, dst):
+            raise TopologyError(f"no direct link {src} -> {dst}")
+        downed: list[LinkSpec] = []
+        pairs = ((src, dst), (dst, src)) if symmetric else ((src, dst),)
+        for a, b in pairs:
+            if self._g.has_edge(a, b) and (a, b) not in self._down:
+                self._down.add((a, b))
+                downed.append(self._g.edges[a, b]["spec"])
+        if downed:
+            self._route_cache.clear()
+        return downed
+
+    def repair_link(self, src: str, dst: str,
+                    symmetric: bool = True) -> list[LinkSpec]:
+        """Return the link (and reverse when *symmetric*) to service.
+        Returns the specs that actually transitioned down→up."""
+        if not self._g.has_edge(src, dst):
+            raise TopologyError(f"no direct link {src} -> {dst}")
+        restored: list[LinkSpec] = []
+        pairs = ((src, dst), (dst, src)) if symmetric else ((src, dst),)
+        for a, b in pairs:
+            if (a, b) in self._down:
+                self._down.discard((a, b))
+                restored.append(self._g.edges[a, b]["spec"])
+        if restored:
+            self._route_cache.clear()
+        return restored
+
+    def link_up(self, src: str, dst: str) -> bool:
+        """True when the directed edge exists and is in service."""
+        return self._g.has_edge(src, dst) and (src, dst) not in self._down
+
+    @property
+    def down_links(self) -> list[LinkSpec]:
+        """Specs of every directed edge currently out of service."""
+        return [self._g.edges[a, b]["spec"] for a, b in sorted(self._down)]
 
     # -- queries ------------------------------------------------------------------
 
@@ -126,9 +176,13 @@ class Topology:
             return [src]
         per_src = self._route_cache.get(src)
         if per_src is None:
+            # A weight of None hides the edge from dijkstra — out-of-service
+            # links simply do not exist as far as routing is concerned.
             per_src = nx.single_source_dijkstra_path(
                 self._g, src,
-                weight=lambda u, v, d: d["spec"].latency + self._HOP_EPS)
+                weight=lambda u, v, d: (
+                    None if (u, v) in self._down
+                    else d["spec"].latency + self._HOP_EPS))
             self._route_cache[src] = per_src
         try:
             return per_src[dst]

@@ -44,6 +44,11 @@ class _TransferTicket(Waitable):
         self.requested = requested
         self.started: Optional[float] = None
         self.finished: Optional[float] = None
+        #: wire attempts so far (0 while queued; retries re-increment)
+        self.attempts = 0
+        #: True when every attempt aborted (link/site outage on the route);
+        #: subscribers must check this before treating the file as landed.
+        self.failed = False
 
     @property
     def queue_delay(self) -> float:
@@ -67,15 +72,30 @@ class FileTransferService:
     max_concurrent_per_route:
         Simultaneous transfers allowed per (src, dst) route; further
         requests wait FIFO — the "transfer server slots" knob.
+    max_attempts:
+        Total wire attempts per ticket when the transport reports a failed
+        transfer (an aborted flow).  1 (the default) means no retry: the
+        ticket completes with ``failed=True`` on the first abort.
+    retry_backoff:
+        Base delay before re-queueing a failed attempt; attempt *k* waits
+        ``retry_backoff * 2**(k-1)`` — deterministic exponential backoff,
+        so retry timing is byte-reproducible across runs.
     """
 
     def __init__(self, sim: Simulator, transport,
-                 max_concurrent_per_route: int = 4) -> None:
+                 max_concurrent_per_route: int = 4,
+                 max_attempts: int = 1, retry_backoff: float = 0.5) -> None:
         if max_concurrent_per_route < 1:
             raise ConfigurationError("max_concurrent_per_route must be >= 1")
+        if max_attempts < 1:
+            raise ConfigurationError("max_attempts must be >= 1")
+        if retry_backoff < 0:
+            raise ConfigurationError("retry_backoff must be >= 0")
         self.sim = sim
         self.transport = transport
         self.max_concurrent = max_concurrent_per_route
+        self.max_attempts = max_attempts
+        self.retry_backoff = retry_backoff
         #: per-route live-transfer counts and FIFO queues.  Both dicts are
         #: pruned as soon as a route goes idle, so route state is bounded
         #: by *concurrent* traffic, not by every (src, dst) pair ever seen.
@@ -83,6 +103,8 @@ class FileTransferService:
         self._backlog: dict[tuple[str, str], deque[_TransferTicket]] = {}
         self.monitor = Monitor("file-transfers")
         self.completed = 0
+        self.retries = 0
+        self.failed = 0
         #: ``src == dst`` requests served without touching the wire.  These
         #: count in ``completed`` and the monitor too, so hit ratios and
         #: mean delays reflect every request, not only remote ones.
@@ -118,21 +140,25 @@ class FileTransferService:
 
     def _launch(self, key: tuple[str, str], ticket: _TransferTicket) -> None:
         self._in_flight[key] = self._in_flight.get(key, 0) + 1
-        ticket.started = self.sim.now
+        if ticket.started is None:
+            ticket.started = self.sim.now  # queue delay measures first start
+        ticket.attempts += 1
         obs = self.sim._obs
         if obs is not None:
             obs.on_transfer_begin(ticket)
         handle = self.transport.transfer(ticket.src, ticket.dst, ticket.file.size)
-        handle._subscribe(lambda _res: self._done(key, ticket))
+        handle._subscribe(lambda result: self._done(key, ticket, result))
 
-    def _done(self, key: tuple[str, str], ticket: _TransferTicket) -> None:
-        ticket.finished = self.sim.now
+    def _done(self, key: tuple[str, str], ticket: _TransferTicket,
+              result) -> None:
+        # Transports that can abort (FlowNetwork under link outages) flag
+        # the failure on their handle; anything else always succeeds.
+        aborted = getattr(result, "failed", False)
         obs = self.sim._obs
         if obs is not None:
             obs.on_transfer_end(ticket)
-        self.completed += 1
-        self.monitor.tally("queue_delay").record(ticket.queue_delay)
-        self.monitor.tally("total_time").record(ticket.total_time)
+        # Free the slot and pump the backlog first — a retry re-enters the
+        # queue like any new request, so slot accounting stays exact.
         self._in_flight[key] -= 1
         queue = self._backlog.get(key)
         if queue:
@@ -142,4 +168,29 @@ class FileTransferService:
                 del self._backlog[key]
             if not self._in_flight[key]:
                 del self._in_flight[key]
+        if aborted and ticket.attempts < self.max_attempts:
+            self.retries += 1
+            self.monitor.counter("retries").increment(self.sim.now)
+            if obs is not None:
+                obs.on_transfer_retry(ticket)
+            delay = self.retry_backoff * (2 ** (ticket.attempts - 1))
+            self.sim.schedule(delay, self._refetch, key, ticket,
+                              label="xfer_retry")
+            return
+        ticket.finished = self.sim.now
+        if aborted:
+            ticket.failed = True
+            self.failed += 1
+            self.monitor.counter("failed").increment(self.sim.now)
+        else:
+            self.completed += 1
+            self.monitor.tally("queue_delay").record(ticket.queue_delay)
+            self.monitor.tally("total_time").record(ticket.total_time)
         ticket._complete(ticket)
+
+    def _refetch(self, key: tuple[str, str], ticket: _TransferTicket) -> None:
+        """Re-queue a backed-off retry through the normal slot machinery."""
+        if self._in_flight.get(key, 0) < self.max_concurrent:
+            self._launch(key, ticket)
+        else:
+            self._backlog.setdefault(key, deque()).append(ticket)

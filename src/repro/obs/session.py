@@ -56,7 +56,8 @@ class ObsBinding:
                  "metrics", "recorder", "current",
                  "_m_sched", "_m_fired", "_m_handler_ns", "_m_rollbacks",
                  "_m_rolled_back", "_m_reallocs", "_m_migrations",
-                 "_m_gvt", "_m_gvt_rounds")
+                 "_m_gvt", "_m_gvt_rounds",
+                 "_m_flow_aborts", "_m_transfer_retries")
 
     def __init__(self, obs: "Observation", sim: Any, track: str) -> None:
         self.obs = obs
@@ -93,6 +94,13 @@ class ObsBinding:
             self._m_migrations = m.counter(
                 "repro_queue_migrations_total",
                 "Adaptive event-queue backend migrations.", track=track)
+            self._m_flow_aborts = m.counter(
+                "repro_flow_aborts_total",
+                "In-flight transfers aborted by link outages.", track=track)
+            self._m_transfer_retries = m.counter(
+                "repro_transfer_retries_total",
+                "File-transfer attempts re-queued after an abort.",
+                track=track)
             # GVT is global, not per-LP: no track label, so every binding
             # of this registry shares the same pair of instruments.
             self._m_gvt = m.gauge(
@@ -104,6 +112,7 @@ class ObsBinding:
             self._m_rollbacks = self._m_rolled_back = None
             self._m_reallocs = self._m_migrations = None
             self._m_gvt = self._m_gvt_rounds = None
+            self._m_flow_aborts = self._m_transfer_retries = None
         #: span of the event whose handler is executing right now — the
         #: causal parent of anything scheduled during that window.
         self.current: Optional[EventSpan] = None
@@ -184,6 +193,53 @@ class ObsBinding:
         if tracer is not None:
             tracer.async_end(id(ticket), self.sim.now,
                              {"total_time": ticket.total_time})
+
+    def on_transfer_retry(self, ticket: Any) -> None:
+        """A failed transfer attempt was re-queued with backoff."""
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.marker(self.track, "transfer",
+                          f"retry:{ticket.file.name}", self.sim.now,
+                          {"attempt": ticket.attempts,
+                           "route": f"{ticket.src}->{ticket.dst}"})
+        m = self._m_transfer_retries
+        if m is not None:
+            m.value += 1.0
+
+    def on_flow_abort(self, handle: Any) -> None:
+        """A link outage killed an in-flight flow."""
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.marker(self.track, "network",
+                          f"flow-abort:{handle.src}->{handle.dst}",
+                          self.sim.now,
+                          {"remaining_bytes": handle.remaining,
+                           "reason": handle.error})
+        m = self._m_flow_aborts
+        if m is not None:
+            m.value += 1.0
+
+    def on_fault(self, kind: str, name: str, phase: str,
+                 downtime: float | None = None) -> None:
+        """A fault-graph component transitioned (*phase*: fail|repair).
+
+        Fault transitions are rare, so the labeled counter is resolved per
+        call rather than pre-bound; repair transitions also record the
+        outage length in the MTTR histogram.
+        """
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.marker(self.track, "fault", f"{phase}:{name}",
+                          self.sim.now, {"kind": kind})
+        m = self.metrics
+        if m is not None:
+            m.counter("repro_fault_transitions_total",
+                      "Fault-graph component up/down transitions.",
+                      track=self.track, kind=kind, phase=phase).inc()
+            if phase == "repair" and downtime is not None:
+                m.histogram("repro_fault_repair_seconds",
+                            "Per-outage time to repair (pow-2 buckets).",
+                            track=self.track, kind=kind).observe(downtime)
 
     def on_message_send(self, msg: Any) -> None:
         """This LP emitted a cross-LP message during the current firing."""

@@ -16,6 +16,7 @@ from .access import (
 )
 from .arrivals import heavy_tail_arrivals, mmpp_arrivals, poisson_arrivals
 from .dags import chain_dag, fork_join_dag, layered_dag
+from .faultchurn import FaultChurnModel, build_fault_churn
 from .flowchurn import FlowChurnModel, build_flow_churn
 from .lhc import (
     ATLAS_2005,
@@ -38,6 +39,8 @@ __all__ = [
     "build_partitioned_ring",
     "FlowChurnModel",
     "build_flow_churn",
+    "FaultChurnModel",
+    "build_fault_churn",
     "layered_dag",
     "fork_join_dag",
     "chain_dag",

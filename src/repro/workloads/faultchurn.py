@@ -1,0 +1,223 @@
+"""Fault-churn workload: scripted periodic outages with an analytic twin.
+
+The differential cross-check for the fault path (the PR-4 template: a
+deterministic workload whose injected and analytically-equivalent runs must
+agree).  Each machine runs a back-to-back chain of equal jobs under one of
+two configurations:
+
+``inject=True``
+    Full-rating machines crashed and repaired on a *scripted* square wave:
+    up for ``period - downtime`` seconds, down for ``downtime``, forever
+    (phase-staggered per machine).  Checkpointing machines keep finished
+    work across evictions.
+``inject=False``
+    No outages; every machine's rating is derated by the duty cycle
+    ``(period - downtime) / period`` instead.
+
+Both configurations deliver work at the same long-run rate, so per-machine
+makespans must agree within one outage's worth of phase:
+``|makespan_inject - makespan_static| <= downtime / duty``.  The injected
+run exercises eviction, checkpoint residue, and the zero-residue
+completion guard; the static run is pure arithmetic — any bug in the
+failure path shows up as a differential gap.
+
+A flapping link rides along: a chain of transfers crosses a link that is
+cut and restored on the same square wave, so every abort → backoff → retry
+transition runs deterministically (``retries`` is an exact integer to
+assert on, not a distribution).
+"""
+
+from __future__ import annotations
+
+import math
+from time import perf_counter
+
+from ..core.engine import Simulator
+from ..core.errors import ConfigurationError
+from ..faults.graph import FaultGraph
+from ..hosts.cpu import SpaceSharedMachine
+from ..network.flow import FlowNetwork
+from ..network.topology import Topology
+from ..network.transfer import FileSpec, FileTransferService
+
+__all__ = ["FaultChurnModel", "build_fault_churn"]
+
+
+class FaultChurnModel:
+    """Deterministic compute + transfer workload under scripted outages.
+
+    Parameters
+    ----------
+    machines / jobs_per_machine / job_length / rating:
+        The compute side: each machine runs its chain to completion.
+    period / downtime:
+        The outage square wave; ``downtime`` must leave a duty cycle of at
+        least one half (the differential bound's validity range).
+    transfers / transfer_bytes / link_bandwidth:
+        The flapping-link side (only active with ``inject=True``); the
+        static twin moves the same bytes over an uncut link.
+    inject:
+        True = real outages at full capacity; False = the derated twin.
+    """
+
+    def __init__(self, machines: int = 4, jobs_per_machine: int = 6,
+                 job_length: float = 4000.0, rating: float = 100.0,
+                 period: float = 10.0, downtime: float = 2.0,
+                 transfers: int = 8, transfer_bytes: float = 3e5,
+                 link_bandwidth: float = 1e5,
+                 inject: bool = True, queue: str = "heap") -> None:
+        if machines < 1 or jobs_per_machine < 1:
+            raise ConfigurationError("need at least one machine and one job")
+        if not 0 < downtime < period:
+            raise ConfigurationError("need 0 < downtime < period")
+        duty = (period - downtime) / period
+        if duty < 0.5:
+            raise ConfigurationError(
+                "duty cycle below 1/2 voids the differential bound "
+                f"(period={period}, downtime={downtime})")
+        self.machines = machines
+        self.jobs_per_machine = jobs_per_machine
+        self.job_length = float(job_length)
+        self.rating = float(rating)
+        self.period = float(period)
+        self.outage = float(downtime)
+        self.duty = duty
+        self.transfers = transfers
+        self.transfer_bytes = float(transfer_bytes)
+        self.inject = inject
+        self.sim = Simulator(queue=queue)
+
+        # -- compute side ----------------------------------------------------
+        effective = rating if inject else rating * duty
+        self._machines = [
+            SpaceSharedMachine(self.sim, pes=1, rating=effective,
+                               name=f"churn-m{i}",
+                               restart_policy="checkpoint")
+            for i in range(machines)]
+        self._last_finish = [math.nan] * machines
+        for i in range(machines):
+            self._submit_chain(i, jobs_per_machine)
+
+        # -- transfer side ---------------------------------------------------
+        topo = Topology()
+        topo.add_link("src", "dst", link_bandwidth, latency=0.001)
+        self.topology = topo
+        self.net = FlowNetwork(self.sim, topo, efficiency=1.0)
+        self.service = FileTransferService(
+            self.sim, self.net, max_attempts=50, retry_backoff=0.25)
+        self.graph = FaultGraph(self.sim, topo, self.net)
+        self.graph.add_link("link:src->dst", "src", "dst")
+        self._transfers_done = 0
+        if transfers > 0:
+            self._fetch_next(transfers)
+
+        # -- the scripted square wave ---------------------------------------
+        if inject:
+            # Enough cycles to cover the analytic makespan with slack; the
+            # wave stops once all work is done (guarded in _wave).
+            horizon = 2.0 * (self.analytic_makespan() + transfers *
+                             transfer_bytes / (link_bandwidth * duty))
+            self._cycles = max(1, int(horizon / period) + 1)
+            for i in range(machines):
+                name = self.graph.add_host(f"host:churn-m{i}",
+                                           self._machines[i])
+                phase = (i * 0.317) % (period - downtime)
+                self.sim.schedule(phase + (period - downtime),
+                                  self._wave, name, phase, self._cycles,
+                                  label="outage_wave")
+            self.sim.schedule(period - downtime, self._wave,
+                              "link:src->dst", 0.0, self._cycles,
+                              label="outage_wave")
+        self.wall_seconds = float("nan")
+
+    # -- drivers -------------------------------------------------------------
+
+    def _submit_chain(self, machine: int, remaining: int) -> None:
+        run = self._machines[machine].submit(self.job_length)
+        if remaining > 1:
+            run._subscribe(
+                lambda _r: self._submit_chain(machine, remaining - 1))
+        else:
+            run._subscribe(
+                lambda r, m=machine: self._chain_done(m, r.finished))
+
+    def _chain_done(self, machine: int, finished: float) -> None:
+        self._last_finish[machine] = finished
+
+    def _fetch_next(self, remaining: int) -> None:
+        ticket = self.service.fetch(
+            FileSpec(f"blob{remaining}", self.transfer_bytes), "src", "dst")
+        ticket._subscribe(lambda t, n=remaining: self._fetched(t, n))
+
+    def _fetched(self, ticket, remaining: int) -> None:
+        if not ticket.failed:
+            self._transfers_done += 1
+        if remaining > 1:
+            self._fetch_next(remaining - 1)
+
+    def _wave(self, name: str, phase: float, cycles_left: int) -> None:
+        """One square-wave outage: fail now, repair after ``outage``."""
+        if self._all_done():
+            return  # stop generating churn once the workload drained
+        self.graph.fail(name, repair_eta=self.sim.now + self.outage)
+        self.sim.schedule(self.outage, self._wave_repair, name, phase,
+                          cycles_left - 1, label="outage_repair")
+
+    def _wave_repair(self, name: str, phase: float, cycles_left: int) -> None:
+        self.graph.repair(name)
+        if cycles_left > 0 and not self._all_done():
+            self.sim.schedule(self.period - self.outage, self._wave, name,
+                              phase, cycles_left, label="outage_wave")
+
+    def _all_done(self) -> bool:
+        jobs_done = all(not math.isnan(t) for t in self._last_finish)
+        xfers_done = self._transfers_done >= self.transfers
+        return jobs_done and xfers_done
+
+    # -- results -------------------------------------------------------------
+
+    def run(self) -> "FaultChurnModel":
+        """Drain the simulation, timing the wall clock; chainable."""
+        t0 = perf_counter()
+        self.sim.run()
+        self.wall_seconds = perf_counter() - t0
+        return self
+
+    def makespans(self) -> list[float]:
+        """Per-machine finish time of the last chained job."""
+        return list(self._last_finish)
+
+    def analytic_makespan(self) -> float:
+        """Static-twin prediction: total work at the duty-derated rate."""
+        total = self.jobs_per_machine * self.job_length
+        return total / (self.rating * self.duty)
+
+    def differential_gap(self) -> float:
+        """Largest |measured − analytic| makespan over the machines."""
+        predict = self.analytic_makespan()
+        return max(abs(m - predict) for m in self.makespans())
+
+    def differential_bound(self) -> float:
+        """The phase bound: one outage of lost work at the derated rate."""
+        return self.outage / self.duty + 1e-6
+
+    def stats(self) -> dict:
+        """Deterministic counters + wall clock as a flat dict."""
+        return {
+            "wall_seconds": self.wall_seconds,
+            "events": self.sim.events_executed,
+            "makespan_max": max(self.makespans()),
+            "analytic_makespan": self.analytic_makespan(),
+            "differential_gap": self.differential_gap(),
+            "differential_bound": self.differential_bound(),
+            "evictions": sum(m.evictions for m in self._machines),
+            "completed_jobs": sum(m.completed for m in self._machines),
+            "transfers_done": self._transfers_done,
+            "transfer_retries": self.service.retries,
+            "flow_aborts": self.net.aborted,
+        }
+
+
+def build_fault_churn(**kwargs) -> FaultChurnModel:
+    """Convenience constructor mirroring ``build_flow_churn``."""
+    return FaultChurnModel(**kwargs)

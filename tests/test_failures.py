@@ -1,8 +1,11 @@
 """Tests for failure injection: crash/repair semantics and work loss."""
 
+import math
+
 import pytest
 
 from repro.core import ConfigurationError, Simulator
+from repro.faults import FaultGraph
 from repro.hosts import SpaceSharedMachine, TimeSharedMachine
 from repro.hosts.failures import MachineFailureInjector
 
@@ -90,6 +93,69 @@ class TestFailRepairSemantics:
         with pytest.raises(ConfigurationError):
             SpaceSharedMachine(Simulator(), restart_policy="pray")
 
+    def test_crash_at_completion_instant_completes_job(self):
+        """A crash event tied with a completion must not re-queue a
+        zero-residue job: the work is done, the victim is a completion."""
+        sim = Simulator()
+        m = SpaceSharedMachine(sim, rating=100.0,
+                               restart_policy="checkpoint")
+        # schedule the crash BEFORE submitting so its event fires first
+        # at the shared timestamp (lower sequence number)
+        sim.schedule(5.0, m.fail)
+        run = m.submit(500.0)  # completes at exactly t=5
+        sim.run()
+        assert run.finished == pytest.approx(5.0)
+        assert m.completed == 1
+        assert m.evictions == 0
+        assert m.queued == 0
+
+    def test_crash_at_completion_instant_then_repair_runs_backlog(self):
+        sim = Simulator()
+        m = SpaceSharedMachine(sim, rating=100.0,
+                               restart_policy="checkpoint")
+        sim.schedule(5.0, m.fail)
+        sim.schedule(7.0, m.repair)
+        r1 = m.submit(500.0)   # done exactly at the crash instant
+        r2 = m.submit(500.0)   # queued; runs after the repair
+        sim.run()
+        assert r1.finished == pytest.approx(5.0)
+        assert r2.finished == pytest.approx(12.0)
+        assert m.completed == 2
+
+
+class TestEstimatedCompletion:
+    def test_failed_machine_without_eta_estimates_inf(self):
+        sim = Simulator()
+        m = SpaceSharedMachine(sim, rating=100.0)
+        m.fail()
+        assert m.estimated_completion(100.0) == math.inf
+
+    def test_failed_machine_uses_repair_eta(self):
+        sim = Simulator()
+        m = SpaceSharedMachine(sim, rating=100.0)
+        m.fail(repair_eta=8.0)
+        # repair at 8, then 1s of work
+        assert m.estimated_completion(100.0) == pytest.approx(9.0)
+
+    def test_repair_clears_eta(self):
+        sim = Simulator()
+        m = SpaceSharedMachine(sim, rating=100.0)
+        m.fail(repair_eta=8.0)
+        m.repair()
+        assert m.repair_eta is None
+        assert m.estimated_completion(100.0) == pytest.approx(1.0)
+
+    def test_queue_drain_estimate_uses_checkpoint_residue(self):
+        sim = Simulator()
+        m = SpaceSharedMachine(sim, rating=100.0,
+                               restart_policy="checkpoint")
+        m.submit(1000.0)
+        sim.schedule(5.0, m.fail)  # 5s done, 5s of residue at eviction
+        sim.run(until=6.0)
+        m.fail(repair_eta=8.0)  # idempotent: refreshes the repair hint
+        # repair at 8, drain 5s of residue, then 1s for the new job
+        assert m.estimated_completion(100.0) == pytest.approx(14.0)
+
 
 class TestInjector:
     def test_cycles_and_availability(self):
@@ -135,3 +201,62 @@ class TestInjector:
         ts = TimeSharedMachine(sim)
         with pytest.raises(ConfigurationError):
             MachineFailureInjector(sim, ts, sim.stream("f"))
+
+    def test_external_fail_repair_does_not_corrupt_injector(self):
+        """Out-of-band fail()/repair() calls (an operator, a fault graph)
+        must leave the injector's view and downtime books consistent."""
+        sim = Simulator(seed=9)
+        m = SpaceSharedMachine(sim, rating=100.0)
+        inj = MachineFailureInjector(sim, m, sim.stream("fail"),
+                                     mtbf=10.0, mttr=3.0, horizon=300.0)
+        for t in range(0, 300, 11):
+            sim.schedule_at(t + 0.25, m.fail)
+            sim.schedule_at(t + 0.75, m.repair)
+        sim.schedule_at(400.0, lambda: None)
+        sim.run()
+        assert not m.failed
+        # the injector reads the machine's single outage clock, so external
+        # overlap can never double-count downtime
+        assert inj.downtime == m.total_downtime
+        assert 0.0 < inj.availability <= 1.0
+        assert m.total_downtime < 400.0
+
+    def test_machine_downtime_clock_single_source(self):
+        sim = Simulator()
+        m = SpaceSharedMachine(sim, rating=100.0)
+        sim.schedule(1.0, m.fail)
+        sim.schedule(1.5, m.fail)   # idempotent: one open interval
+        sim.schedule(4.0, m.repair)
+        sim.schedule(4.2, m.repair)  # idempotent: already up
+        sim.schedule(10.0, lambda: None)
+        sim.run()
+        assert m.total_downtime == pytest.approx(3.0)
+        assert m.availability == pytest.approx(0.7)
+
+
+class TestCorrelatedSiteOutages:
+    def _lost_work(self, policy):
+        """Makespan of a job chain under scripted correlated site outages."""
+        sim = Simulator()
+        machines = [SpaceSharedMachine(sim, rating=100.0,
+                                       name=f"{policy}-{i}",
+                                       restart_policy=policy)
+                    for i in range(2)]
+        g = FaultGraph(sim)
+        children = [g.add_host(f"h{i}", m)
+                    for i, m in enumerate(machines)]
+        g.add_site("site", children)
+        runs = [m.submit(500.0) for m in machines]  # 5s of work each
+        sim.schedule(3.0, g.fail, "site")
+        sim.schedule(4.0, g.repair, "site")
+        sim.run()
+        return max(r.finished for r in runs)
+
+    def test_checkpoint_vs_restart_lost_work_gap(self):
+        """Under a correlated site outage, restart re-pays the pre-crash
+        work on every machine; checkpoint pays only the outage."""
+        ckpt = self._lost_work("checkpoint")
+        rstrt = self._lost_work("restart")
+        assert ckpt == pytest.approx(6.0)   # 3 done + 1 down + 2 left
+        assert rstrt == pytest.approx(9.0)  # 3 lost + 1 down + 5 again
+        assert rstrt - ckpt == pytest.approx(3.0)  # exactly the lost work

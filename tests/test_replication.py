@@ -237,3 +237,70 @@ class TestAgent:
         with pytest.raises(ConfigurationError):
             DataReplicationAgent(sim, grid, cat, source="SRC",
                                  targets=["W0"], max_in_flight=0)
+
+
+class TestFaultTolerance:
+    """Failure-path guarantees: outages must never corrupt the catalog."""
+
+    def _cut_src_link(self, sim, grid):
+        from repro.faults import FaultGraph
+
+        g = FaultGraph(sim, grid.topology, grid.network)
+        g.add_link("l", "SRC", "WAN")
+        return g
+
+    def test_last_copy_guard_when_holder_site_dies(self):
+        """Cutting the holder's access link must not lose or duplicate the
+        catalog's view of the last copy, and the eviction guard must keep
+        refusing to delete it."""
+        sim = Simulator()
+        grid = data_grid(sim)
+        cat = ReplicaCatalog(grid)
+        files = seed_files(grid, cat, ["f0"])
+        strat = LruReplication(sim, grid, cat, protected={"SRC"})
+        g = self._cut_src_link(sim, grid)
+        g.fail("l")
+        ticket = grid.transfers.fetch(files[0], "SRC", "W0")
+        sim.run()
+        assert ticket.failed
+        # the sole replica is still registered exactly where it lives
+        assert cat.has("f0") and cat.replica_count("f0") == 1
+        assert cat.locations("f0") == ["SRC"]
+        assert not grid.site("W0").has_file("f0")
+        # and the last-copy guard still shields it from eviction
+        assert "f0" not in strat._evictable("SRC", FileSpec("new", 100.0))
+
+    def test_failed_fetch_registers_no_phantom_replica(self):
+        """A broker staging fetch that dies with the link must not call
+        on_fetch: no replica, no remote-read accounting."""
+        sim = Simulator()
+        grid = data_grid(sim)
+        cat = ReplicaCatalog(grid)
+        files = seed_files(grid, cat, ["f0"])
+        strat = LruReplication(sim, grid, cat, protected={"SRC"})
+        runner = GridRunner(sim, grid, scheduler=LocalScheduler("W0"),
+                            catalog=cat, replication=strat)
+        g = self._cut_src_link(sim, grid)
+        g.fail("l")
+        runner.submit_all([Job(id=1, length=10.0, input_files=(files[0],))])
+        sim.run()
+        assert strat.replicas_created == 0
+        assert cat.replica_count("f0") == 1
+        assert runner.monitor.counter("remote_fetches").count == 0
+
+    def test_agent_requeues_and_ships_after_repair(self):
+        sim = Simulator()
+        grid = data_grid(sim)
+        cat = ReplicaCatalog(grid)
+        files = seed_files(grid, cat, ["d0"])
+        agent = DataReplicationAgent(sim, grid, cat, source="SRC",
+                                     targets=["W0"], retry_delay=2.0)
+        g = self._cut_src_link(sim, grid)
+        g.fail("l")
+        agent.announce(files[0])
+        sim.schedule(10.0, g.repair, "l")
+        sim.run()
+        assert agent.shipped == 1
+        assert grid.site("W0").has_file("d0")
+        assert cat.replica_count("d0") == 2
+        assert agent.total_backlog == 0
